@@ -1,0 +1,75 @@
+"""ASLR's effect on dedup savings (paper Section 7.2.1, insights note).
+
+The paper reports average per-sandbox savings dropping from 28.8 MB to
+12.1 MB when ASLR is enabled at fingerprint cardinality 5, and argues
+that increasing the cardinality recovers the savings.  This bench
+measures per-sandbox savings across (ASLR, cardinality) and checks both
+directions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.analysis.study import measure_function_savings
+from repro.analysis.tables import render_table
+from repro.memory.fingerprint import FingerprintConfig
+from repro.workload.functionbench import FunctionBenchSuite
+
+SCALE = 1.0 / 64.0
+
+
+@pytest.fixture(scope="module")
+def aslr_grid():
+    suite = FunctionBenchSuite.default()
+    grid: dict[tuple[bool, int], float] = {}
+    for aslr in (False, True):
+        for cardinality in (5, 20):
+            savings = measure_function_savings(
+                suite,
+                content_scale=SCALE,
+                aslr=aslr,
+                fingerprint=FingerprintConfig(cardinality=cardinality),
+            )
+            mean_mb = sum(m.saved_mb for m in savings.values()) / len(savings)
+            grid[(aslr, cardinality)] = mean_mb
+    rows = [
+        (
+            "ASLR off" if not aslr else "ASLR on",
+            cardinality,
+            f"{grid[(aslr, cardinality)]:.1f}",
+        )
+        for aslr in (False, True)
+        for cardinality in (5, 20)
+    ]
+    text = render_table(
+        ["setting", "cardinality", "mean saved MB/sandbox"],
+        rows,
+        title="ASLR vs dedup savings (Sec 7.2.1 note)",
+    )
+    write_result("aslr_savings", text)
+    return suite, grid
+
+
+def test_aslr_reduces_savings_and_cardinality_recovers(benchmark, aslr_grid):
+    suite, grid = aslr_grid
+
+    # ASLR reduces savings at the default cardinality.  The paper's
+    # 28.8 -> 12.1 MB drop cannot be jointly reproduced with its own
+    # ~5% Figure-1b redundancy drop under a pointer-divergence model
+    # (see EXPERIMENTS.md); we calibrate to the redundancy side and get
+    # a smaller but consistent savings drop here.
+    assert grid[(True, 5)] < grid[(False, 5)] * 0.99
+
+    # Increasing the fingerprint cardinality recovers the loss (the
+    # paper's stated remedy).
+    assert grid[(True, 20)] >= grid[(True, 5)] + 0.5
+    assert grid[(True, 20)] >= grid[(False, 5)] * 0.98
+
+    benchmark(
+        measure_function_savings,
+        FunctionBenchSuite.subset(["Vanilla"]),
+        content_scale=SCALE,
+        aslr=True,
+    )

@@ -1,0 +1,75 @@
+"""Figure 1: memory redundancy in serverless workloads.
+
+Reproduces (a) same-function redundancy vs chunk size with ASLR off,
+(b) the same with ASLR on, and (c) the cross-function redundancy matrix
+at 64 B chunks.  The benchmark measures the Section-2 measurement
+primitive itself (one pairwise redundancy computation).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.analysis.study import (
+    FIG1_CHUNK_SIZES,
+    cross_function_matrix,
+    same_function_redundancy,
+)
+from repro.analysis.tables import render_matrix, render_table
+from repro.memory.redundancy import measure_redundancy
+from repro.workload.functionbench import FunctionBenchSuite
+
+SCALE = 1.0 / 64.0
+
+
+@pytest.fixture(scope="module")
+def fig1_data():
+    suite = FunctionBenchSuite.default()
+    plain = same_function_redundancy(suite, aslr=False, content_scale=SCALE)
+    aslr = same_function_redundancy(suite, aslr=True, content_scale=SCALE)
+    matrix = cross_function_matrix(suite, content_scale=SCALE)
+
+    def table(data, title):
+        rows = [
+            [fn] + [f"{by_chunk[c]:.3f}" for c in FIG1_CHUNK_SIZES]
+            for fn, by_chunk in data.items()
+        ]
+        return render_table(
+            ["function"] + [f"{c}B" for c in FIG1_CHUNK_SIZES], rows, title=title
+        )
+
+    text = "\n\n".join(
+        [
+            table(plain, "Fig 1a: same-function redundancy (ASLR disabled)"),
+            table(aslr, "Fig 1b: same-function redundancy (ASLR enabled)"),
+            render_matrix(
+                list(suite.names()),
+                matrix,
+                title="Fig 1c: cross-function redundancy @64B",
+            ),
+        ]
+    )
+    write_result("fig01_redundancy", text)
+    return suite, plain, aslr, matrix
+
+
+def test_fig1_redundancy_measurement(benchmark, fig1_data):
+    suite, plain, aslr, matrix = fig1_data
+
+    # Shape assertions against the paper's findings.
+    for function, by_chunk in plain.items():
+        assert by_chunk[64] > 0.75, f"{function}: 64B redundancy too low"
+        assert by_chunk[1024] < by_chunk[64], f"{function}: no chunk-size decay"
+    for function in plain:
+        drop = plain[function][64] - aslr[function][64]
+        assert drop < 0.25, f"{function}: ASLR collapsed redundancy"
+    for (row, col), value in matrix.items():
+        assert value > 0.4, f"cross redundancy {row} vs {col} too low"
+
+    # Benchmark: one pairwise Section-2 measurement at 64B chunks.
+    profile = suite.get("LinAlg")
+    image_a = profile.synthesize(900, content_scale=SCALE)
+    image_b = profile.synthesize(901, content_scale=SCALE)
+    result = benchmark(measure_redundancy, image_b, image_a, 64)
+    assert result.redundancy > 0.75

@@ -1,0 +1,43 @@
+"""Figure 12: can tuned fixed keep-alive periods match Medes?
+
+Sweeps keep-warm windows of 5/10/15/20 minutes on the representative
+workload and compares against Medes; the paper reports a 38.2% cold
+start reduction for Medes over the best fixed setting.
+
+Reproduction note (also in EXPERIMENTS.md): with the workload-agnostic
+LRU eviction this controller uses, sustained memory pressure largely
+neutralizes the keep-alive period (eviction acts as an implicit adaptive
+keep-alive), so the sweep is flatter than the paper's; the figure's main
+claim — Medes clearly below every fixed setting — reproduces.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.analysis.experiments import run_fig12
+
+
+@pytest.fixture(scope="module")
+def fig12():
+    result = run_fig12()
+    write_result("fig12_keepalive_sweep", result.render())
+    return result
+
+
+def test_fig12_medes_beats_every_keep_alive(benchmark, fig12):
+    cold = fig12.cold_starts
+    medes = cold["Medes"]
+    fixed_settings = {k: v for k, v in cold.items() if k != "Medes"}
+
+    for setting, count in fixed_settings.items():
+        assert medes < count, f"Medes not better than {setting}"
+
+    best_fixed = min(fixed_settings.values())
+    reduction = 1 - medes / best_fixed
+    # The paper reports 38.2% over the best fixed keep-alive; require a
+    # clearly material reduction here.
+    assert reduction > 0.10
+
+    benchmark(dict, fig12.cold_starts)

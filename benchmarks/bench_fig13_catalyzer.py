@@ -1,0 +1,29 @@
+"""Figure 13: integrating Medes with optimized checkpoint-restore.
+
+Every cold start is replaced by an emulated Catalyzer template restore;
+adding Medes on top still reduces cold starts (by deduplicating warm
+state so more sandboxes stay resident), the paper's Section-7.6 point.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.analysis.experiments import run_fig13
+
+
+@pytest.fixture(scope="module")
+def fig13():
+    result = run_fig13()
+    write_result("fig13_catalyzer", result.render())
+    return result
+
+
+def test_fig13_medes_improves_catalyzer(benchmark, fig13):
+    emulated = fig13.cold_starts["Emulated Catalyzer"]
+    combined = fig13.cold_starts["Emulated Catalyzer + Medes"]
+    assert combined < emulated
+    assert 1 - combined / emulated > 0.10
+
+    benchmark(dict, fig13.cold_starts)

@@ -1,0 +1,46 @@
+"""Figure 14: sensitivity to the RSC chunk size (32/64/128 B).
+
+64 B is the paper's sweet spot: 32 B chunks collide in the fingerprint
+table (dissimilar chunks labelled similar -> worse base pages -> larger
+patches), 128 B chunks identify less redundancy.  The benchmark measures
+page fingerprinting at the default chunk size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.analysis.experiments import run_fig14
+from repro.memory.fingerprint import FingerprintConfig, page_fingerprint
+from repro.workload.functionbench import FunctionBenchSuite
+
+SCALE = 1.0 / 64.0
+
+
+@pytest.fixture(scope="module")
+def fig14():
+    result = run_fig14()
+    write_result("fig14_chunk_size", result.render())
+    return result
+
+
+def test_fig14_64b_is_the_sweet_spot(benchmark, fig14):
+    cold = fig14.cold_starts
+    # 32B chunks suffer fingerprint-table collisions (modelled via
+    # digest truncation), which shows as lower per-sandbox savings —
+    # the paper's stated mechanism (patch size 611B -> 940B).
+    assert fig14.metrics["32B"] < fig14.metrics["64B"]
+    # Cold-start counts stay within a noise band around the 64B setting
+    # (the paper's U-shape on counts needs sub-page-shifted redundancy
+    # that page-aligned synthetic content exhibits only weakly; see
+    # EXPERIMENTS.md).
+    assert cold["64B"] <= cold["32B"] * 1.10
+    assert cold["64B"] <= cold["128B"] * 1.10
+
+    # Benchmark: value-sampled fingerprinting of one page.
+    profile = FunctionBenchSuite.default().get("LinAlg")
+    image = profile.synthesize(77, content_scale=SCALE, executed=True)
+    page = image.page(3)
+    fingerprint = benchmark(page_fingerprint, page, FingerprintConfig())
+    assert len(fingerprint.digests) <= 5

@@ -1,0 +1,42 @@
+"""Figure 16: sensitivity to the fingerprint set cardinality (5/10/20).
+
+More sampled chunks per page mean better base pages and more memory
+saved per sandbox, but more distinct base pages to read at restore time
+— the paper measures restores of 378/478/554 ms and inflated tails at
+cardinality 20.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.analysis.experiments import run_fig16
+from repro.memory.fingerprint import FingerprintConfig, page_fingerprint
+from repro.workload.functionbench import FunctionBenchSuite
+
+SCALE = 1.0 / 64.0
+
+
+@pytest.fixture(scope="module")
+def fig16():
+    result = run_fig16()
+    write_result("fig16_cardinality", result.render())
+    return result
+
+
+def test_fig16_cardinality_tradeoff(benchmark, fig16):
+    # Higher cardinality saves more memory per sandbox...
+    assert fig16.savings_mb["20"] >= fig16.savings_mb["5"] * 0.95
+    # ...and never makes restores faster.
+    assert fig16.restore_ms["20"] >= fig16.restore_ms["5"] * 0.95
+    # Cardinality 5 remains competitive on cold starts (the paper's
+    # chosen default).
+    assert fig16.cold_starts["5"] <= min(fig16.cold_starts.values()) * 1.3
+
+    # Benchmark: fingerprinting at cardinality 20 (the expensive end).
+    profile = FunctionBenchSuite.default().get("FeatureGen")
+    image = profile.synthesize(42, content_scale=SCALE, executed=True)
+    config = FingerprintConfig(cardinality=20)
+    fingerprint = benchmark(page_fingerprint, image.page(5), config)
+    assert len(fingerprint.digests) <= 20

@@ -1,0 +1,69 @@
+"""Section 7.7: overheads at the dedup agent and the controller.
+
+Reports per-function dedup-op durations (the paper: 2 s for Vanilla to
+3.3 s for ModelTrain, lookups 130-1850 ms at ~80 us/page), the
+fingerprint-registry footprint, and the dedup agent's metadata share of
+node memory (the paper: below 10%).  Benchmarks the registry lookup
+itself — the controller's hot operation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.analysis.experiments import run_overheads
+from repro.core.registry import FingerprintRegistry, PageRef
+from repro.memory.fingerprint import page_fingerprint
+from repro.workload.functionbench import FunctionBenchSuite
+
+SCALE = 1.0 / 64.0
+
+
+@pytest.fixture(scope="module")
+def overheads():
+    result = run_overheads()
+    write_result("sec77_overheads", result.render())
+    return result
+
+
+def test_sec77_dedup_op_durations(benchmark, overheads):
+    durations = overheads.dedup_duration_ms
+    # The paper's band: ~1-4 s per dedup op, ordered by footprint.
+    for function, duration in durations.items():
+        assert 500 < duration < 6_000, function
+    assert durations["ModelTrain"] > durations["Vanilla"]
+    # Lookup dominates proportionally to pages (~80 us/page in the cost model).
+    assert overheads.lookup_ms["ModelTrain"] > overheads.lookup_ms["Vanilla"] * 3
+
+    # Agent metadata + base checkpoints stay a small share of node
+    # memory (the paper: <10%; our scaled cluster holds fewer sandboxes
+    # per base, so allow some slack).
+    assert overheads.agent_metadata_share < 0.20
+
+    benchmark(dict, durations)
+
+
+def test_sec77_registry_lookup_throughput(benchmark):
+    """Registry lookups at ~80 us/page in the paper's single thread;
+    this measures our in-memory implementation's raw lookup."""
+    registry = FingerprintRegistry()
+    suite = FunctionBenchSuite.default()
+    fingerprints = []
+    for seed, profile in enumerate(suite):
+        image = profile.synthesize(500 + seed, content_scale=SCALE, executed=True)
+        for index in range(image.num_pages):
+            fingerprint = page_fingerprint(image.page(index))
+            registry.register_page(PageRef(seed, seed % 4, index), fingerprint)
+            if index % 7 == 0:
+                fingerprints.append(fingerprint)
+
+    def lookup_batch():
+        hits = 0
+        for fingerprint in fingerprints:
+            if registry.choose_base_page(fingerprint, local_node_id=0) is not None:
+                hits += 1
+        return hits
+
+    hits = benchmark(lookup_batch)
+    assert hits > len(fingerprints) * 0.5

@@ -1,0 +1,59 @@
+"""Table 2: execution time and memory footprint of the FunctionBench suite.
+
+The profiles *are* the paper's inputs; this bench verifies the tabulated
+values, reports them, and measures sandbox image synthesis (the cost the
+platform pays when a sandbox's content is first materialized).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.analysis.tables import render_table
+from repro.workload.functionbench import FunctionBenchSuite
+
+SCALE = 1.0 / 64.0
+
+#: The paper's Table 2 rows: (exec ms, memory MB).
+PAPER_TABLE2 = {
+    "Vanilla": (150, 17.0),
+    "LinAlg": (250, 32.0),
+    "ImagePro": (1200, 26.4),
+    "VideoPro": (2000, 48.0),
+    "MapReduce": (500, 32.0),
+    "HTMLServe": (400, 22.3),
+    "AuthEnc": (400, 22.3),
+    "FeatureGen": (1000, 66.0),
+    "RNNModel": (1000, 90.0),
+    "ModelTrain": (3000, 87.5),
+}
+
+
+@pytest.fixture(scope="module")
+def table2():
+    suite = FunctionBenchSuite.default()
+    rows = [
+        (p.name, p.description, f"{p.exec_time_ms:.0f}", f"{p.memory_mb:g}MB",
+         f"{p.cold_start_ms:.0f}")
+        for p in suite
+    ]
+    text = render_table(
+        ["function", "environment", "exec (ms)", "memory", "cold start (ms)"],
+        rows,
+        title="Table 2: FunctionBench profiles",
+    )
+    write_result("table2_profiles", text)
+    return suite
+
+
+def test_table2_profiles(benchmark, table2):
+    suite = table2
+    for name, (exec_ms, memory_mb) in PAPER_TABLE2.items():
+        profile = suite.get(name)
+        assert profile.exec_time_ms == exec_ms
+        assert profile.memory_mb == memory_mb
+
+    profile = suite.get("RNNModel")
+    image = benchmark(profile.synthesize, 1234, content_scale=SCALE, executed=True)
+    assert image.num_pages > 0

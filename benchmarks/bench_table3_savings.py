@@ -1,0 +1,87 @@
+"""Table 3: percent memory savings per function environment.
+
+One base sandbox per function; a second (executed) sandbox of each
+function is deduplicated against the cluster and its savings reported.
+The benchmark measures the dedup op itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.analysis.study import per_function_microbench
+from repro.analysis.tables import render_table
+from repro.workload.functionbench import FunctionBenchSuite
+
+SCALE = 1.0 / 64.0
+
+#: Paper Table 3 percent savings, for side-by-side reporting.
+PAPER_SAVINGS = {
+    "Vanilla": 27.06,
+    "LinAlg": 32.81,
+    "ImagePro": 43.03,
+    "VideoPro": 25.46,
+    "MapReduce": 15.94,
+    "HTMLServe": 44.30,
+    "AuthEnc": 21.48,
+    "FeatureGen": 38.89,
+    "RNNModel": 58.03,
+    "ModelTrain": 30.09,
+}
+
+
+@pytest.fixture(scope="module")
+def table3():
+    suite = FunctionBenchSuite.default()
+    micro = per_function_microbench(suite, content_scale=SCALE, seed=5)
+    rows = []
+    for profile in suite:
+        result = micro[profile.name]
+        rows.append(
+            (
+                profile.name,
+                f"{result.savings_fraction * 100:.1f}%",
+                f"{result.savings_fraction * profile.memory_mb:.1f}MB / {profile.memory_mb:g}MB",
+                f"{PAPER_SAVINGS[profile.name]:.1f}%",
+            )
+        )
+    text = render_table(
+        ["function", "measured savings", "saved / footprint", "paper savings"],
+        rows,
+        title="Table 3: per-function dedup memory savings",
+    )
+    write_result("table3_savings", text)
+    return suite, micro
+
+
+def test_table3_savings_shape(benchmark, table3):
+    suite, micro = table3
+
+    fractions = {name: m.savings_fraction for name, m in micro.items()}
+    # Savings are material for every function (the Table-3 band).
+    for name, fraction in fractions.items():
+        assert 0.15 < fraction < 0.85, name
+    # Orderings the paper emphasizes: RNNModel saves the most absolute
+    # memory; MapReduce is among the weakest savers.
+    absolute = {
+        name: fractions[name] * suite.get(name).memory_mb for name in fractions
+    }
+    assert absolute["RNNModel"] == max(absolute.values())
+    assert fractions["MapReduce"] <= sorted(fractions.values())[3]
+
+    # Benchmark: one full dedup op (fingerprints + lookups + patches).
+    from repro.analysis.study import per_function_microbench as run_once
+
+    result = benchmark.pedantic(
+        run_once,
+        kwargs=dict(
+            suite=FunctionBenchSuite.subset(["LinAlg"]),
+            content_scale=SCALE,
+            seed=6,
+            verify=False,
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    assert result["LinAlg"].savings_fraction > 0.15

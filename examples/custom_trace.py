@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Bring your own trace: CSV in, JSON report out.
+
+Shows the library's data-interchange surface: build (or load) a trace
+from a two-column CSV, replay it on Medes and a baseline, and export the
+paired comparison as JSON — the workflow for replaying real production
+traces (e.g. rows derived from the Azure Functions dataset) through the
+reproduction.
+
+Run:
+    python examples/custom_trace.py [trace.csv]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.platform import ClusterConfig, save_report
+from repro.platform.comparison import run_comparison
+from repro.platform.report_io import comparison_to_dict
+from repro.workload import FunctionBenchSuite, dump_trace, load_trace
+from repro.workload.azure import AzureTraceGenerator
+
+
+def demo_trace_csv(path: Path) -> None:
+    """Write a demo CSV: a bursty ML function plus a steady web tier."""
+    suite_names = ("RNNModel", "HTMLServe")
+    trace = AzureTraceGenerator(seed=77).generate(8, suite_names)
+    dump_trace(trace, path)
+    print(f"Wrote a demo trace to {path} ({len(trace)} requests); "
+          f"replace it with your own CSV (columns: arrival_ms,function).")
+
+
+def main() -> None:
+    if len(sys.argv) > 1:
+        csv_path = Path(sys.argv[1])
+    else:
+        csv_path = Path(tempfile.gettempdir()) / "medes_demo_trace.csv"
+        demo_trace_csv(csv_path)
+
+    trace = load_trace(csv_path)
+    functions = trace.functions()
+    print(f"Loaded {len(trace)} requests over "
+          f"{trace.duration_ms / 60_000:.1f} min across {len(functions)} functions: "
+          f"{', '.join(functions)}\n")
+
+    suite = FunctionBenchSuite.subset(list(functions))
+    config = ClusterConfig(nodes=2, node_memory_mb=512.0, seed=3)
+    comparison = run_comparison(trace, suite, config)
+
+    for name in comparison.names:
+        metrics = comparison.metrics(name)
+        print(f"{name:18s} cold={metrics.cold_starts():4d} "
+              f"p99={metrics.e2e_percentile(99):7.0f} ms "
+              f"mem={metrics.mean_memory_bytes() / 2**20:5.0f} MB")
+
+    out_path = csv_path.with_suffix(".report.json")
+    out_path.write_text(json.dumps(comparison_to_dict(comparison), indent=2))
+    print(f"\nFull comparison exported to {out_path}")
+
+    medes_report = comparison.reports[comparison.medes_name()]
+    detail_path = csv_path.with_suffix(".medes.json")
+    save_report(medes_report, detail_path, include_requests=True)
+    print(f"Per-request Medes detail exported to {detail_path}")
+
+
+if __name__ == "__main__":
+    main()

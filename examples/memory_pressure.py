@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Medes under memory pressure (the paper's Section 7.4).
+
+Shrinks the cluster memory pool across three settings and compares cold
+starts and tail latencies for Medes versus both keep-alive baselines.
+The paper's claim: Medes' advantage grows when memory is scarce, because
+deduplicated sandboxes survive where warm sandboxes must be evicted.
+
+Run:
+    python examples/memory_pressure.py [--fast]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.experiments import full_workload
+from repro.analysis.tables import render_table
+from repro.platform.comparison import run_comparison
+from repro.platform.config import ClusterConfig
+
+
+def main() -> None:
+    fast = "--fast" in sys.argv
+    duration = 8.0 if fast else 20.0
+    pools_mb = (3072.0, 1792.0) if fast else (3072.0, 2304.0, 1792.0)
+
+    suite, trace = full_workload(duration_min=duration)
+    print(f"Workload: {len(trace)} requests, {len(suite)} functions\n")
+
+    rows = []
+    for pool in pools_mb:
+        config = ClusterConfig(nodes=2, node_memory_mb=pool / 2, seed=1)
+        comparison = run_comparison(trace, suite, config)
+        medes_name = comparison.medes_name()
+        cold = {name: comparison.metrics(name).cold_starts() for name in comparison.names}
+        gain = 1 - cold[medes_name] / cold["fixed-ka-10min"]
+        rows.append(
+            (
+                f"{pool:.0f}MB",
+                cold["fixed-ka-10min"],
+                cold["adaptive-ka"],
+                cold[medes_name],
+                f"{gain * 100:.1f}%",
+                f"{comparison.metrics(medes_name).dedup_share() * 100:.0f}%",
+            )
+        )
+        print(f"pool {pool:.0f}MB done: Medes {cold[medes_name]} cold starts "
+              f"vs fixed {cold['fixed-ka-10min']}")
+
+    print()
+    print(
+        render_table(
+            ["pool", "fixed KA", "adaptive KA", "Medes", "Medes gain", "deduped share"],
+            rows,
+            title="Cold starts vs cluster pool size (Fig 10a)",
+        )
+    )
+    print("\nThe Medes gain column should grow (or persist) as the pool shrinks —")
+    print("the paper measures 22% -> 37% -> 41% across its 40G/30G/20G pools.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Quickstart: replay a serverless workload on Medes and a baseline.
+
+Builds the FunctionBench suite, generates a 10-minute Azure-style trace,
+replays it on a fixed-keep-alive platform and on Medes over the same
+oversubscribed cluster, and prints the side-by-side results.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    AzureTraceGenerator,
+    ClusterConfig,
+    FunctionBenchSuite,
+    PlatformKind,
+    StartType,
+    build_platform,
+    improvement_factors,
+)
+
+
+def main() -> None:
+    # The ten FunctionBench functions of the paper's Tables 1-2.
+    suite = FunctionBenchSuite.default()
+    trace = AzureTraceGenerator(seed=42).generate(10, suite.names())
+    print(f"Workload: {len(trace)} requests over 10 minutes, "
+          f"{len(suite)} functions\n")
+
+    # A small oversubscribed cluster (the paper's 2 GB/node soft limit).
+    config = ClusterConfig(nodes=2, node_memory_mb=1024.0, seed=7)
+
+    reports = {}
+    for kind in (PlatformKind.FIXED_KEEP_ALIVE, PlatformKind.MEDES):
+        platform = build_platform(kind, config, suite)
+        report = platform.run(trace)
+        reports[report.platform_name] = report
+        print(report.summary())
+        print()
+
+    fixed = reports["fixed-ka-10min"].metrics
+    medes = reports["medes"].metrics
+    saved = fixed.cold_starts() - medes.cold_starts()
+    print(f"Medes avoided {saved} cold starts "
+          f"({saved / max(1, fixed.cold_starts()) * 100:.0f}% fewer), serving "
+          f"{medes.start_counts()[StartType.DEDUP]} requests from dedup sandboxes.")
+
+    factors = sorted(improvement_factors(fixed, medes))
+    if factors:
+        p99 = factors[int(len(factors) * 0.99)]
+        print(f"Per-request e2e improvement factor: median "
+              f"{factors[len(factors) // 2]:.2f}x, p99 {p99:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

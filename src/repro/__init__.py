@@ -1,0 +1,55 @@
+"""Medes reproduction: memory deduplication for serverless computing.
+
+A from-scratch Python reproduction of *Memory Deduplication for
+Serverless Computing with Medes* (EuroSys '22): the dedup sandbox state,
+value-sampled page fingerprints, the cluster fingerprint registry, base
+sandbox management, the warm/dedup optimization policy, and the full
+evaluation harness (keep-alive baselines, Azure-style workloads, and
+every table/figure of the paper's Section 7).
+
+Quickstart::
+
+    from repro import (
+        AzureTraceGenerator, ClusterConfig, FunctionBenchSuite,
+        PlatformKind, build_platform,
+    )
+
+    suite = FunctionBenchSuite.default()
+    trace = AzureTraceGenerator(seed=42).generate(10, suite.names())
+    platform = build_platform(PlatformKind.MEDES, ClusterConfig(), suite)
+    report = platform.run(trace)
+    print(report.summary())
+"""
+
+from repro.core.optimizer import Objective
+from repro.core.policy import MedesPolicyConfig
+from repro.platform.comparison import Comparison, run_comparison
+from repro.platform.config import ClusterConfig, ColdStartMode
+from repro.platform.metrics import RunMetrics, StartType, improvement_factors
+from repro.platform.platform import Platform, PlatformKind, RunReport, build_platform
+from repro.workload.azure import AzureTraceGenerator
+from repro.workload.functionbench import FunctionBenchSuite, FunctionProfile
+from repro.workload.trace import Request, Trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AzureTraceGenerator",
+    "ClusterConfig",
+    "ColdStartMode",
+    "Comparison",
+    "FunctionBenchSuite",
+    "FunctionProfile",
+    "MedesPolicyConfig",
+    "Objective",
+    "Platform",
+    "PlatformKind",
+    "Request",
+    "RunMetrics",
+    "RunReport",
+    "StartType",
+    "Trace",
+    "build_platform",
+    "improvement_factors",
+    "run_comparison",
+]

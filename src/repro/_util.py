@@ -1,0 +1,88 @@
+"""Shared low-level helpers: stable seeding, deterministic RNGs, units.
+
+Every stochastic choice in the reproduction flows through
+:func:`stable_seed` so that a given configuration replays byte-identically
+across runs and platforms (Python's built-in ``hash`` is salted per
+process and is never used for seeding).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+import numpy as np
+
+#: Bytes per simulated OS page.  4 KiB matches x86-64 and the paper.
+PAGE_SIZE = 4096
+
+KIB = 1024
+MIB = 1024 * 1024
+GIB = 1024 * 1024 * 1024
+
+
+def stable_seed(*parts: object) -> int:
+    """Derive a stable 64-bit seed from arbitrary hashable parts.
+
+    The derivation uses SHA-256 over the ``repr`` of each part, so it is
+    independent of interpreter hash randomization and stable across runs.
+    """
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(repr(part).encode("utf-8"))
+        digest.update(b"\x1f")
+    return int.from_bytes(digest.digest()[:8], "little")
+
+
+def rng_for(*parts: object) -> np.random.Generator:
+    """Return a numpy Generator deterministically seeded from ``parts``."""
+    return np.random.Generator(np.random.PCG64(stable_seed(*parts)))
+
+
+def hash_bytes(data: bytes, bits: int = 64) -> int:
+    """SHA-1 digest of ``data`` truncated to ``bits`` bits.
+
+    The paper uses SHA-1 for chunk hashes; ``bits`` lets experiments model
+    smaller fingerprint tables (and hence hash collisions, Section 7.8).
+    """
+    if not 1 <= bits <= 160:
+        raise ValueError(f"bits must be in [1, 160], got {bits}")
+    full = int.from_bytes(hashlib.sha1(data).digest(), "little")
+    return full & ((1 << bits) - 1)
+
+
+def round_up(value: int, multiple: int) -> int:
+    """Round ``value`` up to the nearest multiple of ``multiple``."""
+    if multiple <= 0:
+        raise ValueError("multiple must be positive")
+    return ((value + multiple - 1) // multiple) * multiple
+
+
+def percentile(values: Iterable[float], pct: float) -> float:
+    """Percentile (0..100) of ``values`` using linear interpolation.
+
+    Returns ``nan`` for an empty input rather than raising, which keeps
+    report rendering robust for functions that received no requests.
+    """
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return float("nan")
+    return float(np.percentile(arr, pct))
+
+
+def fmt_bytes(n: float) -> str:
+    """Human-readable byte count (e.g. ``'12.3MB'``)."""
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if abs(n) < 1024.0 or unit == "TB":
+            return f"{n:.1f}{unit}" if unit != "B" else f"{int(n)}B"
+        n /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def fmt_ms(ms: float) -> str:
+    """Human-readable duration from milliseconds."""
+    if ms < 1.0:
+        return f"{ms * 1000:.0f}us"
+    if ms < 1000.0:
+        return f"{ms:.1f}ms"
+    return f"{ms / 1000:.2f}s"

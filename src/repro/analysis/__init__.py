@@ -1,0 +1,39 @@
+"""Evaluation harness: the Section-2 study, renderers, experiment drivers."""
+
+from repro.analysis.study import (
+    FIG1_CHUNK_SIZES,
+    FunctionMicrobench,
+    SavingsMeasurement,
+    TimelinePoint,
+    cross_function_matrix,
+    measure_function_savings,
+    per_function_microbench,
+    same_function_redundancy,
+    savings_timeline,
+)
+from repro.analysis.tables import (
+    cdf_points,
+    cdf_summary,
+    histogram_ascii,
+    render_cdf,
+    render_matrix,
+    render_table,
+)
+
+__all__ = [
+    "FIG1_CHUNK_SIZES",
+    "FunctionMicrobench",
+    "SavingsMeasurement",
+    "TimelinePoint",
+    "cdf_points",
+    "cdf_summary",
+    "cross_function_matrix",
+    "histogram_ascii",
+    "measure_function_savings",
+    "per_function_microbench",
+    "render_cdf",
+    "render_matrix",
+    "render_table",
+    "same_function_redundancy",
+    "savings_timeline",
+]

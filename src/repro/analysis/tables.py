@@ -1,0 +1,102 @@
+"""Plain-text rendering of the evaluation's tables and figure data.
+
+The benchmark harness prints every reproduced table/figure as aligned
+text so runs are self-describing without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render an aligned text table."""
+    materialized = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in materialized:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_matrix(
+    labels: Sequence[str],
+    values: dict[tuple[str, str], float],
+    *,
+    title: str | None = None,
+    fmt: str = "{:.2f}",
+) -> str:
+    """Render a labelled square matrix (the Figure-1c heat map as text)."""
+    headers = ["row\\col"] + list(labels)
+    rows = []
+    for row_label in labels:
+        row = [row_label] + [fmt.format(values[(row_label, col)]) for col in labels]
+        rows.append(row)
+    return render_table(headers, rows, title=title)
+
+
+def cdf_points(values: Iterable[float], *, points: int = 200) -> list[tuple[float, float]]:
+    """(value, cumulative fraction) samples of the empirical CDF."""
+    arr = np.sort(np.asarray(list(values), dtype=np.float64))
+    if arr.size == 0:
+        return []
+    if arr.size <= points:
+        return [(float(v), (i + 1) / arr.size) for i, v in enumerate(arr)]
+    idx = np.linspace(0, arr.size - 1, points).astype(int)
+    return [(float(arr[i]), (i + 1) / arr.size) for i in idx]
+
+
+def cdf_summary(values: Iterable[float], percentiles: Sequence[float] = (1, 5, 25, 50, 75, 95, 99, 99.9)) -> str:
+    """One-line percentile summary of a distribution."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return "(empty)"
+    parts = [f"p{p:g}={np.percentile(arr, p):.2f}" for p in percentiles]
+    return " ".join(parts)
+
+
+def render_cdf(
+    values: Iterable[float],
+    *,
+    title: str | None = None,
+    quantiles: Sequence[float] = (0.01, 0.05, 0.25, 0.50, 0.75, 0.95, 0.99, 0.995, 0.999),
+) -> str:
+    """Render a CDF as a quantile table (the Figure-7a series as text)."""
+    arr = np.sort(np.asarray(list(values), dtype=np.float64))
+    rows = []
+    for q in quantiles:
+        if arr.size == 0:
+            rows.append([f"{q:.3f}", "n/a"])
+        else:
+            rows.append([f"{q:.3f}", f"{np.percentile(arr, q * 100):.3f}"])
+    return render_table(["CDF quantile", "value"], rows, title=title)
+
+
+def histogram_ascii(values: Iterable[float], *, bins: int = 10, width: int = 40) -> str:
+    """A small ASCII histogram, for quick visual checks in bench output."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return "(empty)"
+    counts, edges = np.histogram(arr, bins=bins)
+    top = counts.max() if counts.max() > 0 else 1
+    lines = []
+    for count, lo, hi in zip(counts, edges[:-1], edges[1:]):
+        bar = "#" * int(round(width * count / top))
+        lines.append(f"[{lo:10.2f}, {hi:10.2f}) {count:6d} {bar}")
+    return "\n".join(lines)

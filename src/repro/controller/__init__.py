@@ -1,0 +1,6 @@
+"""Cluster control plane: the controller, and the keep-alive baselines."""
+
+from repro.controller.baselines import AdaptiveKeepAlivePolicy, FixedKeepAlivePolicy
+from repro.controller.controller import ClusterController
+
+__all__ = ["AdaptiveKeepAlivePolicy", "ClusterController", "FixedKeepAlivePolicy"]

@@ -1,0 +1,658 @@
+"""The cluster controller: scheduling, lifecycle, and dedup orchestration.
+
+One :class:`ClusterController` drives a whole platform run on the event
+simulator.  It implements the paper's Section-3 workflows:
+
+* **dispatch** — an incoming request goes to an idle warm sandbox of its
+  function if one exists, else to a dedup sandbox (restore op), else a
+  new sandbox is spawned cold on the least-used node (evicting idle
+  sandboxes under memory pressure, queueing if nothing can fit);
+* **lifecycle** — after execution a sandbox turns warm; at idle-period
+  expiry the policy is consulted (keep warm / deduplicate / demarcate as
+  base); keep-alive and keep-dedup expiries purge sandboxes;
+* **dedup plumbing** — base-checkpoint creation and registration,
+  refcount acquire/release around dedup tables, and base retirement.
+
+The same controller runs the baselines: their policies simply never ask
+for deduplication (``idle_period_ms`` is None) and may request
+pre-warmed spawns (the adaptive policy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._util import stable_seed
+from repro.core.agent import DedupAgent
+from repro.core.basemgr import BaseSandboxManager
+from repro.core.policy import ClusterView, Decision, FunctionStats, LifecyclePolicy
+from repro.core.registry import FingerprintRegistry, PageRef
+from repro.memory.fingerprint import page_fingerprint
+from repro.platform.config import ClusterConfig
+from repro.platform.metrics import (
+    DedupOpRecord,
+    RequestRecord,
+    RestoreOpRecord,
+    RunMetrics,
+    StartType,
+)
+from repro.sandbox.checkpoint import BaseCheckpoint, CheckpointStore
+from repro.sandbox.node import Node
+from repro.sandbox.sandbox import Sandbox
+from repro.sandbox.state import SandboxState
+from repro.sim.engine import Simulator, Timer
+from repro.sim.network import PeerUnavailable
+from repro.workload.functionbench import FunctionBenchSuite
+from repro.workload.trace import Request
+from repro._util import rng_for
+
+
+#: A queued request older than this may evict unpinned base sandboxes.
+STARVATION_MS = 5_000.0
+
+
+@dataclass
+class _SandboxTimers:
+    idle: Timer | None = None
+    keep_alive: Timer | None = None
+    keep_dedup: Timer | None = None
+
+    def cancel_all(self) -> None:
+        for timer in (self.idle, self.keep_alive, self.keep_dedup):
+            if timer is not None:
+                timer.cancel()
+        self.idle = self.keep_alive = self.keep_dedup = None
+
+
+class ClusterController:
+    """Controller + node daemons for one platform run."""
+
+    def __init__(
+        self,
+        *,
+        sim: Simulator,
+        config: ClusterConfig,
+        suite: FunctionBenchSuite,
+        policy: LifecyclePolicy,
+        metrics: RunMetrics,
+        nodes: list[Node],
+        agents: dict[int, DedupAgent],
+        registry: FingerprintRegistry,
+        store: CheckpointStore,
+        basemgr: BaseSandboxManager,
+        stats: dict[str, FunctionStats] | None = None,
+    ):
+        self.sim = sim
+        self.config = config
+        self.suite = suite
+        self.policy = policy
+        self.metrics = metrics
+        self.nodes = nodes
+        self.agents = agents
+        self.registry = registry
+        self.store = store
+        self.basemgr = basemgr
+        self.stats = stats or {}
+        self._by_function: dict[str, dict[int, Sandbox]] = {}
+        self._timers: dict[int, _SandboxTimers] = {}
+        self._queue: list[tuple[Request, RequestRecord]] = []
+        self._pending_dedups: dict[int, tuple[Timer, object]] = {}
+        self._instance_counter = 0
+        self._draining = False
+
+    # ------------------------------------------------------------ helpers
+
+    def _function_sandboxes(self, function: str) -> dict[int, Sandbox]:
+        return self._by_function.setdefault(function, {})
+
+    def _timers_for(self, sandbox: Sandbox) -> _SandboxTimers:
+        return self._timers.setdefault(sandbox.sandbox_id, _SandboxTimers())
+
+    def _next_instance_seed(self) -> int:
+        self._instance_counter += 1
+        return stable_seed("instance", self.config.seed, self._instance_counter)
+
+    def _ensure_image(self, sandbox: Sandbox) -> None:
+        """Lazily synthesize the (post-execution) memory image.
+
+        Images are only materialized when content actually matters — a
+        dedup op or base demarcation — which keeps long runs cheap.
+        """
+        if sandbox.image is None:
+            sandbox.image = sandbox.profile.synthesize(
+                sandbox.instance_seed,
+                content_scale=self.config.content_scale,
+                aslr=self.config.aslr,
+                executed=True,
+            )
+
+    def _exec_ms(self, request: Request) -> float:
+        """Execution time for a request: identical across platforms.
+
+        Seeded only from the request identity (not the platform), so
+        Medes and every baseline replay the same work per request and
+        Figure-7a's paired comparison is apples to apples.
+        """
+        profile = self.suite.get(request.function)
+        rng = rng_for("exec-time", request.request_id, request.function)
+        sigma = profile.exec_cv
+        sample = float(rng.lognormal(mean=-0.5 * sigma * sigma, sigma=sigma))
+        return profile.exec_time_ms * sample
+
+    def used_bytes(self) -> int:
+        return sum(node.used_bytes() for node in self.nodes)
+
+    def live_counts(self) -> tuple[dict[str, int], dict[str, int]]:
+        """Per-function (serving-capable count, dedup count)."""
+        live: dict[str, int] = {}
+        dedup: dict[str, int] = {}
+        live_states = {
+            SandboxState.WARM,
+            SandboxState.RUNNING,
+            SandboxState.DEDUPING,
+            SandboxState.DEDUP,
+            SandboxState.RESTORING,
+        }
+        dedup_states = {SandboxState.DEDUPING, SandboxState.DEDUP}
+        for function, sandboxes in self._by_function.items():
+            live[function] = sum(1 for s in sandboxes.values() if s.state in live_states)
+            dedup[function] = sum(1 for s in sandboxes.values() if s.state in dedup_states)
+        return live, dedup
+
+    def build_view(self) -> ClusterView:
+        live, dedup = self.live_counts()
+        now = self.sim.now
+        rates = {fn: st.mean_rate(now) for fn, st in self.stats.items()}
+        total_rate = sum(rates.values())
+        shares = (
+            {fn: rate / total_rate for fn, rate in rates.items()} if total_rate > 0 else {}
+        )
+        return ClusterView(
+            now=now,
+            live_counts=live,
+            dedup_counts=dedup,
+            used_bytes=self.used_bytes(),
+            capacity_bytes=self.config.cluster_capacity_bytes,
+            rate_shares=shares,
+        )
+
+    def sandbox_census(self) -> tuple[int, int, int]:
+        """(warm-ish, dedup, total) sandbox counts for memory sampling."""
+        warm = dedup = total = 0
+        for sandboxes in self._by_function.values():
+            for sandbox in sandboxes.values():
+                total += 1
+                if sandbox.state in (SandboxState.WARM, SandboxState.RUNNING):
+                    warm += 1
+                elif sandbox.state in (SandboxState.DEDUP, SandboxState.DEDUPING):
+                    dedup += 1
+        return warm, dedup, total
+
+    # ----------------------------------------------------------- dispatch
+
+    def submit(self, request: Request) -> None:
+        """Entry point: a client request arrives at the controller."""
+        record = self.metrics.on_arrival(request.request_id, request.function, self.sim.now)
+        self.policy.on_arrival(request.function, self.sim.now)
+        if request.function in self.stats:
+            self.stats[request.function].record_arrival(self.sim.now)
+        if not self._try_dispatch(request, record):
+            self._queue.append((request, record))
+            # Give the starvation path (last-resort base eviction) a
+            # chance even if no other event frees memory meanwhile.
+            self.sim.after(STARVATION_MS + 1.0, self._drain_queue)
+
+    def _try_dispatch(
+        self, request: Request, record: RequestRecord, *, desperate: bool = False
+    ) -> bool:
+        function = request.function
+        sandboxes = self._function_sandboxes(function)
+
+        warm_candidates = [s for s in sandboxes.values() if s.idle_warm]
+        if warm_candidates:
+            sandbox = max(warm_candidates, key=lambda s: (s.last_used_at, s.sandbox_id))
+            self._start_warm(sandbox, request, record)
+            return True
+
+        dedup_candidates = [
+            s
+            for s in sandboxes.values()
+            if s.state is SandboxState.DEDUP and s.busy_request_id is None
+        ]
+        if dedup_candidates:
+            sandbox = max(dedup_candidates, key=lambda s: (s.last_used_at, s.sandbox_id))
+            if self._start_dedup(sandbox, request, record):
+                return True
+            # Base pages unreachable (node failure): the dedup sandbox
+            # was purged; fall through to the remaining options.
+
+        # A sandbox mid-dedup is cheaper to reclaim than a cold start:
+        # abort the (background) dedup op and serve the request warm.
+        deduping = [
+            s
+            for s in sandboxes.values()
+            if s.state is SandboxState.DEDUPING and s.busy_request_id is None
+        ] if self.config.enable_dedup_abort else []
+        if deduping:
+            sandbox = max(deduping, key=lambda s: (s.last_used_at, s.sandbox_id))
+            self._abort_dedup(sandbox)
+            self._start_warm(sandbox, request, record)
+            return True
+
+        return self._start_cold(request, record, desperate=desperate)
+
+    def _start_warm(self, sandbox: Sandbox, request: Request, record: RequestRecord) -> None:
+        self._timers_for(sandbox).cancel_all()
+        sandbox.busy_request_id = request.request_id
+        sandbox.transition(SandboxState.RUNNING, self.sim.now)
+        record.start_type = StartType.WARM
+        record.queued_ms = self.sim.now - record.arrival_ms
+        record.startup_ms = self.config.costs.warm_start_ms
+        self._run_request(sandbox, request, record)
+
+    def _start_dedup(self, sandbox: Sandbox, request: Request, record: RequestRecord) -> bool:
+        """Serve ``request`` by restoring a dedup sandbox.
+
+        Returns False when a base page's node is unreachable: the broken
+        dedup sandbox is purged (its state cannot be reconstructed) and
+        the caller falls back to another start path (Section 4.1.3's
+        base-unavailability concern).
+        """
+        assert sandbox.dedup_table is not None
+        agent = self.agents[sandbox.node_id]
+        try:
+            outcome = agent.restore(
+                sandbox.dedup_table, verify=self.config.verify_restores
+            )
+        except PeerUnavailable:
+            self._purge(sandbox, reason="base-unavailable")
+            return False
+        self._timers_for(sandbox).cancel_all()
+        sandbox.busy_request_id = request.request_id
+        sandbox.transition(SandboxState.RESTORING, self.sim.now)
+        timings = outcome.timings
+        self.metrics.restore_ops.append(
+            RestoreOpRecord(
+                function=sandbox.function,
+                sandbox_id=sandbox.sandbox_id,
+                started_ms=self.sim.now,
+                base_read_ms=timings.base_read_ms,
+                compute_ms=timings.compute_ms,
+                restore_ms=timings.restore_ms,
+            )
+        )
+        if sandbox.function in self.stats:
+            self.stats[sandbox.function].record_dedup_start(timings.total_ms)
+        record.start_type = StartType.DEDUP
+        record.queued_ms = self.sim.now - record.arrival_ms
+        record.startup_ms = timings.total_ms
+
+        def finish_restore() -> None:
+            table = sandbox.dedup_table
+            assert table is not None
+            sandbox.image = outcome.image
+            sandbox.dedup_table = None
+            self._release_base_refs(table)
+            self.basemgr.note_dedup(sandbox.function, -1)
+            sandbox.transition(SandboxState.RUNNING, self.sim.now)
+            self._run_request(sandbox, request, record, already_started=True)
+
+        self.sim.after(timings.total_ms, finish_restore)
+        return True
+
+    def _start_cold(
+        self, request: Request, record: RequestRecord, *, desperate: bool = False
+    ) -> bool:
+        profile = self.suite.get(request.function)
+        node = self._place(profile.memory_bytes, allow_bases=desperate)
+        if node is None:
+            return False
+        sandbox = self._spawn(profile, node)
+        sandbox.busy_request_id = request.request_id
+        record.start_type = StartType.COLD
+        record.queued_ms = self.sim.now - record.arrival_ms
+        cold_ms = self.config.cold_start_ms(profile) + self.config.costs.spawn_placement_ms
+        record.startup_ms = cold_ms
+
+        def finish_spawn() -> None:
+            sandbox.transition(SandboxState.RUNNING, self.sim.now)
+            self._run_request(sandbox, request, record, already_started=True)
+
+        self.sim.after(cold_ms, finish_spawn)
+        return True
+
+    def _run_request(
+        self,
+        sandbox: Sandbox,
+        request: Request,
+        record: RequestRecord,
+        *,
+        already_started: bool = False,
+    ) -> None:
+        """Schedule execution; startup (unless already elapsed) + exec."""
+        exec_ms = self._exec_ms(request)
+        record.exec_ms = exec_ms
+        delay = exec_ms if already_started else record.startup_ms + exec_ms
+
+        def complete() -> None:
+            record.completion_ms = self.sim.now
+            sandbox.busy_request_id = None
+            sandbox.served_requests += 1
+            sandbox.transition(SandboxState.WARM, self.sim.now)
+            self._arm_idle_timers(sandbox)
+            self._drain_queue()
+
+        self.sim.after(delay, complete)
+
+    # ------------------------------------------------------------- spawn
+
+    def _spawn(self, profile, node: Node) -> Sandbox:
+        sandbox = Sandbox(
+            profile=profile,
+            node_id=node.node_id,
+            instance_seed=self._next_instance_seed(),
+            created_at=self.sim.now,
+        )
+        node.admit(sandbox)
+        self._function_sandboxes(profile.name)[sandbox.sandbox_id] = sandbox
+        self.metrics.sandboxes_created += 1
+        return sandbox
+
+    def _eviction_candidates(self, node: Node, *, include_bases: bool) -> list[Sandbox]:
+        """Node's LRU idle victims.
+
+        Base sandboxes anchor every future dedup of their function, so
+        they are spared under ordinary pressure; ``include_bases`` opens
+        up *unpinned* bases (refcount 0) as a genuine last resort —
+        without it, an unpinned base on a full node could starve queued
+        work indefinitely.
+        """
+        victims = node.eviction_candidates(self.config.eviction_order)
+        if include_bases:
+            unpinned_bases = [
+                s
+                for s in node.sandboxes.values()
+                if s.is_base
+                and s.idle_warm
+                and s.base_checkpoint_id is not None
+                and not self.store.get(s.base_checkpoint_id).pinned
+            ]
+            unpinned_bases.sort(key=lambda s: (s.last_used_at, s.sandbox_id))
+            victims = victims + unpinned_bases
+        return victims
+
+    def _place(self, needed_bytes: int, *, allow_bases: bool = False) -> Node | None:
+        """Least-used node that fits, evicting idle sandboxes if needed.
+
+        ``allow_bases`` is the starvation path: a request that has been
+        queued past STARVATION_MS may also evict unpinned base sandboxes
+        rather than wait indefinitely.
+        """
+        node = self._try_place(needed_bytes, include_bases=False)
+        if node is not None or not allow_bases:
+            return node
+        return self._try_place(needed_bytes, include_bases=True)
+
+    def _try_place(self, needed_bytes: int, *, include_bases: bool) -> Node | None:
+        candidates = sorted(self.nodes, key=lambda n: (n.used_bytes(), n.node_id))
+        for node in candidates:
+            if node.fits(needed_bytes):
+                return node
+        for node in candidates:
+            reclaimable = node.free_bytes() + sum(
+                victim.memory_bytes()
+                for victim in self._eviction_candidates(node, include_bases=include_bases)
+            )
+            if reclaimable < needed_bytes:
+                continue
+            # Re-fetch candidates each round: purging can re-enter the
+            # dispatcher (queued work drains) and evict on its own.
+            while not node.fits(needed_bytes):
+                victims = self._eviction_candidates(node, include_bases=include_bases)
+                if not victims:
+                    break
+                self._purge(victims[0], reason="evicted")
+                self.metrics.evictions += 1
+            if node.fits(needed_bytes):
+                return node
+        return None
+
+    def spawn_prewarmed(self, function: str) -> bool:
+        """Spawn a sandbox ahead of demand (adaptive policy pre-warming)."""
+        profile = self.suite.get(function)
+        node = self._place(profile.memory_bytes)
+        if node is None:
+            return False
+        sandbox = self._spawn(profile, node)
+        self.metrics.prewarm_spawns += 1
+        cold_ms = self.config.cold_start_ms(profile) + self.config.costs.spawn_placement_ms
+
+        def finish_spawn() -> None:
+            sandbox.transition(SandboxState.WARM, self.sim.now)
+            self._arm_idle_timers(sandbox)
+            self._drain_queue()
+
+        self.sim.after(cold_ms, finish_spawn)
+        return True
+
+    def _drain_queue(self) -> None:
+        if self._draining or not self._queue:
+            return
+        self._draining = True
+        try:
+            remaining: list[tuple[Request, RequestRecord]] = []
+            for request, record in self._queue:
+                desperate = self.sim.now - record.arrival_ms > STARVATION_MS
+                if not self._try_dispatch(request, record, desperate=desperate):
+                    remaining.append((request, record))
+            self._queue = remaining
+        finally:
+            self._draining = False
+
+    # ---------------------------------------------------------- lifecycle
+
+    def _arm_idle_timers(self, sandbox: Sandbox) -> None:
+        """Arm the idle-period and keep-alive timers of an idle warm sandbox."""
+        timers = self._timers_for(sandbox)
+        timers.cancel_all()
+        function = sandbox.function
+        idle_period = self.policy.idle_period_ms(function)
+        if idle_period is not None:
+            timers.idle = self.sim.after(idle_period, lambda: self._on_idle_expiry(sandbox))
+        keep_alive = self.policy.keep_alive_ms(function, self.sim.now)
+        timers.keep_alive = self.sim.after(
+            keep_alive, lambda: self._on_keep_alive_expiry(sandbox)
+        )
+
+    def _on_idle_expiry(self, sandbox: Sandbox) -> None:
+        """Idle period elapsed: consult the policy (Medes only)."""
+        if not sandbox.idle_warm:
+            return
+        timers = self._timers_for(sandbox)
+        idle_period = self.policy.idle_period_ms(sandbox.function)
+        if idle_period is None:
+            return
+        if sandbox.is_base:
+            # Base sandboxes stay warm while they anchor dedup state.
+            timers.idle = self.sim.after(idle_period, lambda: self._on_idle_expiry(sandbox))
+            return
+        decision = self.policy.decide_idle(sandbox.function, self.build_view())
+        if decision is Decision.KEEP_WARM:
+            timers.idle = self.sim.after(idle_period, lambda: self._on_idle_expiry(sandbox))
+            return
+        # The D/B > T rule: a function with heavy dedup traffic gets an
+        # additional base outright.
+        if self.basemgr.base_count(sandbox.function) > 0 and self.basemgr.needs_new_base(
+            sandbox.function
+        ):
+            self._make_base(sandbox)
+            timers.idle = self.sim.after(idle_period, lambda: self._on_idle_expiry(sandbox))
+            return
+        became_base = self._begin_dedup(sandbox)
+        if became_base:
+            # _begin_dedup cancelled the timers; the sandbox stayed warm
+            # (as a base), so both idle and keep-alive must be re-armed.
+            self._arm_idle_timers(sandbox)
+
+    def _on_keep_alive_expiry(self, sandbox: Sandbox) -> None:
+        if not sandbox.idle_warm:
+            return
+        now = self.sim.now
+        keep_alive = self.policy.keep_alive_ms(sandbox.function, now)
+        idle_for = now - sandbox.last_used_at
+        if idle_for + 1e-6 < keep_alive:
+            # The policy's window moved (adaptive); re-arm for the rest.
+            self._timers_for(sandbox).keep_alive = self.sim.after(
+                keep_alive - idle_for, lambda: self._on_keep_alive_expiry(sandbox)
+            )
+            return
+        if sandbox.is_base and sandbox.base_checkpoint_id is not None:
+            checkpoint = self.store.get(sandbox.base_checkpoint_id)
+            if checkpoint.pinned:
+                # Keep the anchor warm; re-check one keep-alive later.
+                self._timers_for(sandbox).keep_alive = self.sim.after(
+                    keep_alive, lambda: self._on_keep_alive_expiry(sandbox)
+                )
+                return
+        function = sandbox.function
+        self._purge(sandbox, reason="keep-alive")
+        delay = self.policy.prewarm_delay_ms(function, self.sim.now)
+        if delay is not None:
+            self.sim.after(delay, lambda: self.spawn_prewarmed(function))
+
+    def _on_keep_dedup_expiry(self, sandbox: Sandbox) -> None:
+        if sandbox.state is SandboxState.DEDUP and sandbox.busy_request_id is None:
+            self._purge(sandbox, reason="keep-dedup")
+
+    # -------------------------------------------------------------- dedup
+
+    def _make_base(self, sandbox: Sandbox) -> None:
+        """Demarcate a warm sandbox as a base (Section 4.1.3)."""
+        self._ensure_image(sandbox)
+        assert sandbox.image is not None
+        node = self.nodes[sandbox.node_id]
+        checkpoint = BaseCheckpoint(
+            function=sandbox.function,
+            node_id=sandbox.node_id,
+            image=sandbox.image,
+            owner_sandbox_id=sandbox.sandbox_id,
+            full_size_bytes=sandbox.profile.memory_bytes,
+        )
+        self.basemgr.add_base(checkpoint)
+        node.pin_checkpoint(checkpoint)
+        fingerprint_config = self.agents[sandbox.node_id].fingerprint_config
+        for index in range(checkpoint.image.num_pages):
+            self.registry.register_page(
+                PageRef(checkpoint.checkpoint_id, sandbox.node_id, index),
+                page_fingerprint(checkpoint.image.page(index), fingerprint_config),
+            )
+        sandbox.is_base = True
+        sandbox.base_checkpoint_id = checkpoint.checkpoint_id
+        self.metrics.bases_created += 1
+
+    def _abort_dedup(self, sandbox: Sandbox) -> None:
+        """Cancel an in-flight dedup op and return the sandbox to warm.
+
+        The refcounts the op acquired are rolled back; the memory
+        checkpoint is simply dropped (the warm image never went away).
+        """
+        pending = self._pending_dedups.pop(sandbox.sandbox_id, None)
+        if pending is None:
+            raise RuntimeError(f"sandbox {sandbox.sandbox_id} has no dedup in flight")
+        timer, outcome = pending
+        timer.cancel()
+        self._release_base_refs(outcome.table)
+        sandbox.transition(SandboxState.WARM, self.sim.now)
+
+    def _begin_dedup(self, sandbox: Sandbox) -> bool:
+        """Kick off the (background) dedup op for an idle warm sandbox.
+
+        Returns True when the trial dedup saved too little — the cluster
+        lacks base coverage for this function's content — and the
+        sandbox was demarcated as a base instead of deduplicating.
+        """
+        self._timers_for(sandbox).cancel_all()
+        sandbox.transition(SandboxState.DEDUPING, self.sim.now)
+        self._ensure_image(sandbox)
+        agent = self.agents[sandbox.node_id]
+        outcome = agent.dedup(sandbox)
+        if (
+            outcome.table.stats.savings_fraction < self.config.base_savings_threshold
+            and self.basemgr.needs_new_base(sandbox.function)
+        ):
+            self._release_base_refs(outcome.table)
+            sandbox.transition(SandboxState.WARM, self.sim.now)
+            self._make_base(sandbox)
+            return True
+        started = self.sim.now
+
+        def finish_dedup() -> None:
+            self._pending_dedups.pop(sandbox.sandbox_id, None)
+            sandbox.dedup_table = outcome.table
+            sandbox.image = None
+            sandbox.dedup_count += 1
+            sandbox.transition(SandboxState.DEDUP, self.sim.now)
+            self.basemgr.note_dedup(sandbox.function, +1)
+            if sandbox.function in self.stats:
+                fraction = outcome.table.retained_full_bytes / sandbox.profile.memory_bytes
+                self.stats[sandbox.function].record_retained_fraction(min(1.0, fraction))
+            self.metrics.dedup_ops.append(
+                DedupOpRecord(
+                    function=sandbox.function,
+                    sandbox_id=sandbox.sandbox_id,
+                    started_ms=started,
+                    duration_ms=outcome.timings.total_ms,
+                    lookup_ms=outcome.timings.lookup_ms,
+                    savings_fraction=outcome.table.stats.savings_fraction,
+                    retained_full_bytes=outcome.table.retained_full_bytes,
+                    same_function_pages=outcome.table.stats.same_function_pages,
+                    cross_function_pages=outcome.table.stats.cross_function_pages,
+                )
+            )
+            timers = self._timers_for(sandbox)
+            timers.keep_dedup = self.sim.after(
+                self.policy.keep_dedup_ms(sandbox.function),
+                lambda: self._on_keep_dedup_expiry(sandbox),
+            )
+            self._drain_queue()  # the freed memory may admit queued work
+
+        timer = self.sim.after(outcome.timings.total_ms, finish_dedup)
+        self._pending_dedups[sandbox.sandbox_id] = (timer, outcome)
+        return False
+
+    def _release_base_refs(self, table) -> None:
+        for checkpoint_id, count in table.base_refs.items():
+            checkpoint = self.store.get(checkpoint_id)
+            checkpoint.release(count)
+            self._maybe_retire_checkpoint(checkpoint)
+
+    def _maybe_retire_checkpoint(self, checkpoint: BaseCheckpoint) -> None:
+        """Retire an unpinned base checkpoint whose owner is gone."""
+        if checkpoint.pinned or checkpoint.owner_resident:
+            return
+        self.registry.deregister_checkpoint(checkpoint.checkpoint_id)
+        self.nodes[checkpoint.node_id].unpin_checkpoint(checkpoint.checkpoint_id)
+        self.basemgr.remove_base(checkpoint)
+        self.store.remove(checkpoint.checkpoint_id)
+
+    # -------------------------------------------------------------- purge
+
+    def _purge(self, sandbox: Sandbox, *, reason: str) -> None:
+        if sandbox.state is SandboxState.PURGED:
+            return  # nested eviction may race a stale candidate list
+        self._timers_for(sandbox).cancel_all()
+        self._timers.pop(sandbox.sandbox_id, None)
+        if sandbox.state is SandboxState.DEDUP:
+            assert sandbox.dedup_table is not None
+            self._release_base_refs(sandbox.dedup_table)
+            self.basemgr.note_dedup(sandbox.function, -1)
+        sandbox.transition(SandboxState.PURGED, self.sim.now)
+        sandbox.dedup_table = None
+        sandbox.image = None
+        self.nodes[sandbox.node_id].remove(sandbox.sandbox_id)
+        self._function_sandboxes(sandbox.function).pop(sandbox.sandbox_id, None)
+        if sandbox.is_base and sandbox.base_checkpoint_id is not None:
+            checkpoint = self.store.get(sandbox.base_checkpoint_id)
+            checkpoint.owner_resident = False
+            self._maybe_retire_checkpoint(checkpoint)
+        self._drain_queue()

@@ -1,0 +1,389 @@
+"""The per-node dedup agent: dedup op and restore op (Sections 4.1-4.2).
+
+The **dedup op** converts a warm sandbox into the dedup state: it
+checkpoints the memory image, computes a value-sampled fingerprint per
+page, asks the controller's fingerprint registry for candidate base
+pages, picks the best base per page, and computes an xdelta-style patch
+against it.  Pages with no useful base stay resident as *unique* pages;
+zero pages collapse to a marker.  The resulting
+:class:`DedupPageTable` — patches, unique pages and base-page addresses —
+is all that remains in memory, and it is stored *locally* on the
+sandbox's node so restores never touch the controller (Section 4.2).
+
+The **restore op** reverses it: base pages are fetched (one-sided RDMA
+for remote ones, batched per peer), patches are applied to recompute the
+original pages, and the checkpoint is resumed.  The returned image is
+byte-identical to the pre-dedup image — tests assert this.
+
+All durations are charged at full-sandbox scale even though the content
+operations run on scaled images (see the cost model's docstring).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.costs import CostModel
+from repro.core.registry import FingerprintRegistry, PageRef
+from repro.memory.fingerprint import FingerprintConfig, page_fingerprint
+from repro.memory.image import MemoryImage
+from repro.memory.patch import Patch, apply_patch, compute_patch
+from repro.sandbox.checkpoint import CheckpointStore
+from repro.sandbox.sandbox import Sandbox
+from repro.sim.network import RdmaFabric
+
+#: Full-scale metadata bytes per page entry of a dedup table (base page
+#: address + patch descriptor), part of the dedup footprint.
+METADATA_BYTES_PER_PAGE = 40
+
+#: A patch larger than this fraction of the page is not worth keeping;
+#: the page is stored unique instead.
+UNIQUE_THRESHOLD = 0.75
+
+
+class PageKind(enum.Enum):
+    """Disposition of one page after the dedup op."""
+
+    ZERO = "zero"
+    UNIQUE = "unique"
+    PATCHED = "patched"
+
+
+@dataclass(frozen=True)
+class PageEntry:
+    """One page's dedup record."""
+
+    kind: PageKind
+    base: PageRef | None = None
+    patch: Patch | None = None
+    raw: bytes | None = None
+
+    def retained_bytes(self) -> int:
+        """Scaled content bytes this entry keeps resident."""
+        if self.kind is PageKind.ZERO:
+            return 0
+        if self.kind is PageKind.UNIQUE:
+            assert self.raw is not None
+            return len(self.raw)
+        assert self.patch is not None
+        return self.patch.size_bytes
+
+
+@dataclass(frozen=True)
+class DedupStats:
+    """Per-dedup-op accounting (drives Table 3 and Section 7.3.1)."""
+
+    total_pages: int
+    zero_pages: int
+    unique_pages: int
+    patched_pages: int
+    same_function_pages: int
+    cross_function_pages: int
+    saved_content_bytes: int
+    image_content_bytes: int
+
+    @property
+    def savings_fraction(self) -> float:
+        """Fraction of the image's bytes eliminated by deduplication."""
+        if self.image_content_bytes == 0:
+            return 0.0
+        return self.saved_content_bytes / self.image_content_bytes
+
+
+@dataclass
+class DedupPageTable:
+    """The resident representation of a deduplicated sandbox.
+
+    Also records everything needed to rebuild the original
+    :class:`MemoryImage` (its metadata fields), so restores reconstruct
+    a byte-identical image.
+    """
+
+    function: str
+    instance_seed: int
+    page_size: int
+    content_scale: float
+    aslr: bool
+    regions: tuple
+    entries: tuple[PageEntry, ...]
+    original_checksum: str
+    full_size_bytes: int
+    stats: DedupStats
+    base_refs: Counter[int] = field(default_factory=Counter)
+    """checkpoint_id -> number of page references (refcount holdings)."""
+    _retained_content_bytes: int | None = field(default=None, repr=False)
+
+    @property
+    def retained_content_bytes(self) -> int:
+        """Scaled bytes resident (patches + unique pages), cached —
+        node accounting queries this on every placement decision."""
+        if self._retained_content_bytes is None:
+            self._retained_content_bytes = sum(
+                entry.retained_bytes() for entry in self.entries
+            )
+        return self._retained_content_bytes
+
+    @property
+    def retained_full_bytes(self) -> int:
+        """Full-scale memory charge of the dedup sandbox."""
+        full_pages = max(1, round(len(self.entries) / self.content_scale))
+        metadata = full_pages * METADATA_BYTES_PER_PAGE
+        return int(self.retained_content_bytes / self.content_scale) + metadata
+
+
+@dataclass(frozen=True)
+class DedupTimings:
+    """Phase durations of one dedup op (full-scale ms)."""
+
+    checkpoint_ms: float
+    fingerprint_ms: float
+    lookup_ms: float
+    base_read_ms: float
+    patch_ms: float
+
+    @property
+    def total_ms(self) -> float:
+        return (
+            self.checkpoint_ms
+            + self.fingerprint_ms
+            + self.lookup_ms
+            + self.base_read_ms
+            + self.patch_ms
+        )
+
+
+@dataclass(frozen=True)
+class DedupOutcome:
+    table: DedupPageTable
+    timings: DedupTimings
+
+
+@dataclass(frozen=True)
+class RestoreTimings:
+    """Phase durations of one restore op — the Figure 8 breakdown."""
+
+    base_read_ms: float
+    """'Dedup: base page reading'."""
+    compute_ms: float
+    """'Dedup: original page computing' (patch application)."""
+    restore_ms: float
+    """'Dedup: sandbox restoration' (checkpoint resume)."""
+
+    @property
+    def total_ms(self) -> float:
+        return self.base_read_ms + self.compute_ms + self.restore_ms
+
+
+@dataclass(frozen=True)
+class RestoreOutcome:
+    image: MemoryImage
+    timings: RestoreTimings
+
+
+class DedupAgent:
+    """The dedup/restore executor of one node."""
+
+    def __init__(
+        self,
+        node_id: int,
+        *,
+        registry: FingerprintRegistry,
+        store: CheckpointStore,
+        fabric: RdmaFabric,
+        costs: CostModel,
+        content_scale: float,
+        fingerprint_config: FingerprintConfig | None = None,
+        patch_level: int = 1,
+        unique_threshold: float = UNIQUE_THRESHOLD,
+    ):
+        if not 0 < content_scale <= 1:
+            raise ValueError("content_scale must be in (0, 1]")
+        self.node_id = node_id
+        self.registry = registry
+        self.store = store
+        self.fabric = fabric
+        self.costs = costs
+        self.content_scale = content_scale
+        self.fingerprint_config = fingerprint_config or FingerprintConfig()
+        self.patch_level = patch_level
+        self.unique_threshold = unique_threshold
+        self.dedup_ops = 0
+        self.restore_ops = 0
+
+    # ---------------------------------------------------------------- dedup
+
+    def _full_pages(self, pages: int) -> int:
+        return max(1, round(pages / self.content_scale))
+
+    def dedup(self, sandbox: Sandbox) -> DedupOutcome:
+        """Run the dedup op on a warm sandbox's image.
+
+        Side effects: acquires refcounts on every base checkpoint the new
+        page table references.  The caller (controller) is responsible
+        for swapping the sandbox's image for the returned table and for
+        the corresponding lifecycle transitions.
+        """
+        image = sandbox.image
+        if image is None:
+            raise RuntimeError(f"sandbox {sandbox.sandbox_id} has no image to dedup")
+
+        page_size = image.page_size
+        unique_cap = int(self.unique_threshold * page_size)
+        entries: list[PageEntry] = []
+        base_refs: Counter[int] = Counter()
+        reads_by_peer: Counter[int] = Counter()
+        zero_pages = unique_pages = patched_pages = 0
+        same_fn = cross_fn = 0
+        saved = 0
+
+        for index in range(image.num_pages):
+            page = image.page(index)
+            if not page.any():
+                entries.append(PageEntry(kind=PageKind.ZERO))
+                zero_pages += 1
+                saved += page_size
+                continue
+            fingerprint = page_fingerprint(page, self.fingerprint_config)
+            choice = self.registry.choose_base_page(fingerprint, self.node_id)
+            if choice is None:
+                entries.append(PageEntry(kind=PageKind.UNIQUE, raw=page.tobytes()))
+                unique_pages += 1
+                continue
+            ref, _overlap = choice
+            if ref.node_id != self.node_id and not self.fabric.peer_available(ref.node_id):
+                # The base's node is unreachable: keep the page unique
+                # rather than depend on state we cannot read back.
+                entries.append(PageEntry(kind=PageKind.UNIQUE, raw=page.tobytes()))
+                unique_pages += 1
+                continue
+            reads_by_peer[ref.node_id] += 1
+            base_page = self.store.get(ref.checkpoint_id).page_bytes(ref.page_index)
+            patch = compute_patch(page, base_page, level=self.patch_level)
+            if patch.size_bytes >= unique_cap:
+                entries.append(PageEntry(kind=PageKind.UNIQUE, raw=page.tobytes()))
+                unique_pages += 1
+                continue
+            entries.append(PageEntry(kind=PageKind.PATCHED, base=ref, patch=patch))
+            patched_pages += 1
+            saved += page_size - patch.size_bytes
+            base_refs[ref.checkpoint_id] += 1
+            if self.store.get(ref.checkpoint_id).function == sandbox.function:
+                same_fn += 1
+            else:
+                cross_fn += 1
+
+        for checkpoint_id, count in base_refs.items():
+            self.store.get(checkpoint_id).acquire(count)
+
+        stats = DedupStats(
+            total_pages=image.num_pages,
+            zero_pages=zero_pages,
+            unique_pages=unique_pages,
+            patched_pages=patched_pages,
+            same_function_pages=same_fn,
+            cross_function_pages=cross_fn,
+            saved_content_bytes=saved,
+            image_content_bytes=image.nbytes,
+        )
+        table = DedupPageTable(
+            function=sandbox.function,
+            instance_seed=image.instance_seed,
+            page_size=page_size,
+            content_scale=self.content_scale,
+            aslr=image.aslr,
+            regions=image.regions,
+            entries=tuple(entries),
+            original_checksum=image.checksum(),
+            full_size_bytes=sandbox.profile.memory_bytes,
+            stats=stats,
+            base_refs=base_refs,
+        )
+
+        full_pages = self._full_pages(image.num_pages)
+        scale_up = full_pages / max(1, image.num_pages)
+        read_plan = {
+            peer: (int(count * scale_up), int(count * scale_up) * page_size)
+            for peer, count in reads_by_peer.items()
+        }
+        timings = DedupTimings(
+            checkpoint_ms=self.costs.checkpoint_ms(full_pages),
+            fingerprint_ms=self.costs.fingerprint_ms(full_pages),
+            lookup_ms=self.costs.lookup_ms(full_pages),
+            base_read_ms=self.fabric.batch_read_ms(read_plan, local_peer=self.node_id),
+            patch_ms=self.costs.patch_compute_ms(
+                max(1, round(patched_pages * scale_up))
+            ),
+        )
+        self.dedup_ops += 1
+        return DedupOutcome(table=table, timings=timings)
+
+    # -------------------------------------------------------------- restore
+
+    def restore(self, table: DedupPageTable, *, verify: bool = False) -> RestoreOutcome:
+        """Run the restore op: rebuild the original image from the table.
+
+        Does *not* release base refcounts — the controller does that once
+        the sandbox is warm again (the base pages must stay pinned until
+        the restore completes).
+        """
+        page_size = table.page_size
+        reads_by_peer: Counter[int] = Counter()
+        patched = 0
+        for entry in table.entries:
+            if entry.kind is PageKind.PATCHED:
+                assert entry.base is not None
+                reads_by_peer[entry.base.node_id] += 1
+                patched += 1
+
+        # Fetch the base pages first: an unreachable peer raises
+        # PeerUnavailable *before* any reconstruction work, and the
+        # controller falls back to a cold start.
+        full_pages = self._full_pages(len(table.entries))
+        scale_up = full_pages / max(1, len(table.entries))
+        read_plan = {
+            peer: (int(count * scale_up), int(count * scale_up) * page_size)
+            for peer, count in reads_by_peer.items()
+        }
+        base_read_ms = self.fabric.batch_read_ms(read_plan, local_peer=self.node_id)
+
+        pages: list[np.ndarray] = []
+        for entry in table.entries:
+            if entry.kind is PageKind.ZERO:
+                pages.append(np.zeros(page_size, dtype=np.uint8))
+            elif entry.kind is PageKind.UNIQUE:
+                assert entry.raw is not None
+                pages.append(np.frombuffer(entry.raw, dtype=np.uint8))
+            else:
+                assert entry.base is not None and entry.patch is not None
+                base_page = self.store.get(entry.base.checkpoint_id).page_bytes(
+                    entry.base.page_index
+                )
+                original = apply_patch(entry.patch, base_page)
+                pages.append(np.frombuffer(original, dtype=np.uint8))
+
+        data = np.concatenate(pages) if pages else np.zeros(0, dtype=np.uint8)
+        image = MemoryImage(
+            function=table.function,
+            instance_seed=table.instance_seed,
+            data=data,
+            page_size=page_size,
+            regions=table.regions,
+            aslr=table.aslr,
+        )
+        if verify and image.checksum() != table.original_checksum:
+            raise RuntimeError(
+                f"restore of {table.function} produced a corrupted image "
+                f"({image.checksum()} != {table.original_checksum})"
+            )
+
+        timings = RestoreTimings(
+            base_read_ms=base_read_ms,
+            compute_ms=self.costs.patch_apply_ms(max(1, round(patched * scale_up))),
+            restore_ms=self.costs.restore_fixed_ms,
+        )
+        self.restore_ops += 1
+        return RestoreOutcome(image=image, timings=timings)

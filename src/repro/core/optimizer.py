@@ -1,0 +1,235 @@
+"""The sandbox-management optimization problem (paper Section 5.2).
+
+Given ``C`` sandboxes of a function, split them into ``W`` warm and
+``D = C - W`` dedup sandboxes subject to:
+
+* the throughput constraint ``W/R_W + D/R_D >= lambda_max`` (eq. 2),
+  where reuse periods ``R`` are startup + execution time; and
+* either (P1) a mean-startup-latency bound ``S <= alpha * s_W`` while
+  minimising memory ``M = W*m_W + D*(m_D + m_R)`` (eq. 3), or (P2) a
+  memory budget ``M <= M0`` while minimising ``S`` (eq. 4).
+
+Both programs are linear in the single free variable ``D`` (``W`` is
+eliminated via ``W + D = C``), so they are solved in closed form:
+
+* ``M(D)`` is decreasing in ``D`` whenever dedup actually saves memory
+  (``m_D + m_R < m_W``), so P1 maximizes ``D`` under the latency and
+  rate constraints;
+* ``S(D)`` is increasing in ``D`` (dedup starts are slower), so P2
+  minimizes ``D`` under the memory budget.
+
+When the system is infeasible (even all-warm cannot meet the rate, or
+the budget cannot be met at ``D = C``), the paper's policy falls back to
+aggressive deduplication; the solver reports that via ``feasible``.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+
+class Objective(enum.Enum):
+    """Which program the operator configured (the policy interface)."""
+
+    LATENCY = "latency"
+    """P1: meet ``S <= alpha * s_W`` in minimum memory."""
+
+    MEMORY = "memory"
+    """P2: meet ``M <= M0`` with minimum startup latency."""
+
+
+@dataclass(frozen=True)
+class FunctionModel:
+    """Per-function parameters fed to the solver.
+
+    Rates are in requests/ms and memory in bytes to match the simulator;
+    any consistent unit system works.
+    """
+
+    lambda_max: float
+    """Peak request arrival rate to satisfy (req/ms)."""
+    warm_start_ms: float
+    dedup_start_ms: float
+    exec_ms: float
+    warm_bytes: int
+    """m_W: footprint of a warm sandbox."""
+    dedup_bytes: int
+    """m_D: footprint of a dedup sandbox (patches + metadata)."""
+    restore_overhead_bytes: int
+    """m_R: transient memory of a dedup start (Section 5.1)."""
+
+    def __post_init__(self) -> None:
+        if self.lambda_max < 0:
+            raise ValueError("lambda_max must be non-negative")
+        if min(self.warm_start_ms, self.dedup_start_ms, self.exec_ms) < 0:
+            raise ValueError("times must be non-negative")
+        if self.warm_bytes <= 0 or self.dedup_bytes < 0 or self.restore_overhead_bytes < 0:
+            raise ValueError("memory parameters out of range")
+
+    @property
+    def reuse_warm_ms(self) -> float:
+        """R_W: minimum interval between invocations on a warm sandbox."""
+        return self.exec_ms + self.warm_start_ms
+
+    @property
+    def reuse_dedup_ms(self) -> float:
+        """R_D: the same for a dedup sandbox (restore included)."""
+        return self.exec_ms + self.dedup_start_ms
+
+
+@dataclass(frozen=True)
+class Solution:
+    """Solver output: the target (W, D) split."""
+
+    warm: int
+    dedup: int
+    feasible: bool
+    memory_bytes: float
+    mean_startup_ms: float
+
+    @property
+    def total(self) -> int:
+        return self.warm + self.dedup
+
+
+def memory_usage(model: FunctionModel, warm: int, dedup: int) -> float:
+    """Equation 3: total memory of a (W, D) split."""
+    return warm * model.warm_bytes + dedup * (model.dedup_bytes + model.restore_overhead_bytes)
+
+
+def mean_startup_ms(model: FunctionModel, warm: int, dedup: int) -> float:
+    """Equation 4: request-weighted mean startup latency of a split.
+
+    Sandboxes serve requests at rate 1/R, so warm sandboxes absorb
+    ``W/R_W`` of the load at latency ``s_W`` and dedup ones ``D/R_D`` at
+    ``s_D``.
+    """
+    warm_rate = warm / model.reuse_warm_ms if model.reuse_warm_ms > 0 else 0.0
+    dedup_rate = dedup / model.reuse_dedup_ms if model.reuse_dedup_ms > 0 else 0.0
+    total = warm_rate + dedup_rate
+    if total == 0:
+        return 0.0
+    return (warm_rate * model.warm_start_ms + dedup_rate * model.dedup_start_ms) / total
+
+
+def max_dedup_for_rate(model: FunctionModel, total: int) -> float:
+    """Largest D satisfying the throughput constraint (eq. 2), or -1.
+
+    With ``a = 1/R_W >= b = 1/R_D``, the capacity ``(C-D)a + Db`` falls
+    as D grows; the bound solves ``(C-D)a + Db = lambda``.  Returns C
+    when even all-dedup meets the rate, and -1.0 when even all-warm
+    cannot (the controller must spawn more sandboxes).
+    """
+    a = 1.0 / model.reuse_warm_ms
+    b = 1.0 / model.reuse_dedup_ms
+    if total * a < model.lambda_max:
+        return -1.0
+    if a == b or total * b >= model.lambda_max:
+        return float(total)
+    return (total * a - model.lambda_max) / (a - b)
+
+
+def max_dedup_for_latency(model: FunctionModel, total: int, alpha: float) -> float:
+    """Largest D with mean startup within ``alpha * s_W`` (P1 bound)."""
+    if alpha < 1.0:
+        raise ValueError("alpha must be >= 1 (a bound below s_W is unmeetable)")
+    target = alpha * model.warm_start_ms
+    if model.dedup_start_ms <= target:
+        return float(total)
+    a = 1.0 / model.reuse_warm_ms
+    b = 1.0 / model.reuse_dedup_ms
+    # D*b*(s_D - target) <= (C-D)*a*(target - s_W)
+    slack = a * (target - model.warm_start_ms)
+    cost = b * (model.dedup_start_ms - target)
+    denominator = slack + cost
+    if denominator <= 0:
+        return 0.0
+    return total * slack / denominator
+
+
+def min_dedup_for_memory(model: FunctionModel, total: int, budget_bytes: float) -> float:
+    """Smallest D with total memory within budget (P2 bound), or +inf.
+
+    Returns ``inf`` when even all-dedup exceeds the budget (infeasible —
+    the policy then deduplicates aggressively and relies on eviction).
+    """
+    per_dedup = model.dedup_bytes + model.restore_overhead_bytes
+    saving = model.warm_bytes - per_dedup
+    if saving <= 0:
+        # Dedup does not save memory for this function; all-warm is the
+        # cheapest split — either it fits or nothing does.
+        return 0.0 if memory_usage(model, total, 0) <= budget_bytes else math.inf
+    if memory_usage(model, 0, total) > budget_bytes:
+        return math.inf
+    overage = memory_usage(model, total, 0) - budget_bytes
+    if overage <= 0:
+        return 0.0
+    return overage / saving
+
+
+def solve(
+    model: FunctionModel,
+    total: int,
+    objective: Objective,
+    *,
+    alpha: float = 2.5,
+    budget_bytes: float | None = None,
+) -> Solution:
+    """Solve P1 or P2 for one function with ``total`` live sandboxes.
+
+    Infeasible instances return the paper's aggressive-dedup fallback
+    (``D = total`` capped by nothing) with ``feasible=False``.
+    """
+    if total < 0:
+        raise ValueError("total sandbox count must be non-negative")
+    if total == 0:
+        # No sandboxes: vacuously optimal, but an open demand (positive
+        # lambda) is unmeetable until the scheduler spawns more.
+        return Solution(
+            warm=0,
+            dedup=0,
+            feasible=model.lambda_max <= 1e-12,
+            memory_bytes=0.0,
+            mean_startup_ms=0.0,
+        )
+
+    d_rate = max_dedup_for_rate(model, total)
+    if objective is Objective.LATENCY:
+        d_lat = max_dedup_for_latency(model, total, alpha)
+        if d_rate < 0:
+            # Cannot meet the rate at all: dedup aggressively; the
+            # scheduler will spawn additional sandboxes for the load.
+            return _finalize(model, total, total, feasible=False)
+        if model.dedup_bytes + model.restore_overhead_bytes >= model.warm_bytes:
+            # Dedup does not save memory: warm dominates on both axes.
+            return _finalize(model, total, 0, feasible=True)
+        dedup = int(min(float(total), d_lat, d_rate))
+        return _finalize(model, total, dedup, feasible=True)
+
+    if objective is Objective.MEMORY:
+        if budget_bytes is None:
+            raise ValueError("MEMORY objective requires budget_bytes")
+        d_mem = min_dedup_for_memory(model, total, budget_bytes)
+        if math.isinf(d_mem) or d_rate < 0:
+            return _finalize(model, total, total, feasible=False)
+        # Integer feasibility: some D with ceil(d_mem) <= D <= floor(d_rate).
+        dedup = max(0, math.ceil(d_mem - 1e-9))
+        if dedup > math.floor(d_rate + 1e-9):
+            return _finalize(model, total, total, feasible=False)
+        return _finalize(model, total, min(total, dedup), feasible=True)
+
+    raise AssertionError(f"unhandled objective {objective}")
+
+
+def _finalize(model: FunctionModel, total: int, dedup: int, *, feasible: bool) -> Solution:
+    dedup = max(0, min(total, dedup))
+    warm = total - dedup
+    return Solution(
+        warm=warm,
+        dedup=dedup,
+        feasible=feasible,
+        memory_bytes=memory_usage(model, warm, dedup),
+        mean_startup_ms=mean_startup_ms(model, warm, dedup),
+    )

@@ -1,0 +1,256 @@
+"""The global fingerprint registry (controller-side, Section 3.1 / 4.1).
+
+The registry is a hash table from chunk digests (RSC hashes) to the base
+pages containing them.  Only *base sandboxes'* pages populate it
+(Section 4.1.3), which keeps its footprint proportional to the number of
+base checkpoints rather than the number of sandboxes.
+
+Lookups serve the dedup op: given a page's value-sampled fingerprint,
+the registry returns candidate base pages scored by how many of the
+sampled chunks they share; the dedup agent picks the best candidate
+(ties prefer pages local to the requesting node) as the page's *base
+page* (Section 4.1.2).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+
+from repro.memory.fingerprint import FingerprintConfig, PageFingerprint
+
+#: Reference size used for the registry's own memory accounting: digest
+#: (8 B) + per-ref (node, checkpoint, page ~ 12 B) in a compact table.
+_DIGEST_BYTES = 8
+_REF_BYTES = 12
+
+
+@dataclass(frozen=True)
+class PageRef:
+    """Cluster-wide address of one base page."""
+
+    checkpoint_id: int
+    node_id: int
+    page_index: int
+
+
+@dataclass
+class RegistryStats:
+    """Counters for the Section-7.7 overhead analysis."""
+
+    pages_registered: int = 0
+    digests_registered: int = 0
+    page_lookups: int = 0
+    digest_lookups: int = 0
+    hits: int = 0
+
+
+class FingerprintRegistry:
+    """Chunk-digest -> base-page index with bounded buckets."""
+
+    def __init__(
+        self,
+        config: FingerprintConfig | None = None,
+        *,
+        max_refs_per_digest: int = 8,
+    ):
+        if max_refs_per_digest <= 0:
+            raise ValueError("max_refs_per_digest must be positive")
+        self.config = config or FingerprintConfig()
+        self.max_refs_per_digest = max_refs_per_digest
+        self._buckets: dict[int, list[PageRef]] = defaultdict(list)
+        self._by_checkpoint: dict[int, list[tuple[int, PageRef]]] = defaultdict(list)
+        self.stats = RegistryStats()
+
+    def register_page(self, ref: PageRef, fingerprint: PageFingerprint) -> int:
+        """Insert a base page's sampled digests; returns digests stored."""
+        stored = 0
+        for digest in fingerprint.digest_set:
+            bucket = self._buckets[digest]
+            if ref in bucket:
+                continue
+            if len(bucket) >= self.max_refs_per_digest:
+                continue
+            bucket.append(ref)
+            self._by_checkpoint[ref.checkpoint_id].append((digest, ref))
+            stored += 1
+        self.stats.pages_registered += 1
+        self.stats.digests_registered += stored
+        return stored
+
+    def deregister_checkpoint(self, checkpoint_id: int) -> int:
+        """Remove every digest of a retired base checkpoint."""
+        removed = 0
+        for digest, ref in self._by_checkpoint.pop(checkpoint_id, []):
+            bucket = self._buckets.get(digest)
+            if bucket is None:
+                continue
+            try:
+                bucket.remove(ref)
+                removed += 1
+            except ValueError:
+                pass
+            if not bucket:
+                del self._buckets[digest]
+        return removed
+
+    def lookup(self, fingerprint: PageFingerprint) -> Counter[PageRef]:
+        """Candidate base pages scored by sampled-chunk overlap."""
+        self.stats.page_lookups += 1
+        counts: Counter[PageRef] = Counter()
+        for digest in fingerprint.digest_set:
+            self.stats.digest_lookups += 1
+            for ref in self._buckets.get(digest, ()):
+                counts[ref] += 1
+        if counts:
+            self.stats.hits += 1
+        return counts
+
+    def choose_base_page(
+        self,
+        fingerprint: PageFingerprint,
+        local_node_id: int,
+    ) -> tuple[PageRef, int] | None:
+        """Pick the best base page for a dedup candidate page.
+
+        The candidate with the maximum sampled-chunk overlap wins; among
+        equals, a page local to ``local_node_id`` is preferred (avoiding
+        a remote read), then the lowest address for determinism.
+        Returns ``(ref, overlap)`` or None when no candidate exists.
+        """
+        counts = self.lookup(fingerprint)
+        if not counts:
+            return None
+        best = min(
+            counts.items(),
+            key=lambda item: (
+                -item[1],
+                item[0].node_id != local_node_id,
+                item[0].checkpoint_id,
+                item[0].page_index,
+            ),
+        )
+        return best[0], best[1]
+
+    @property
+    def digest_count(self) -> int:
+        return len(self._buckets)
+
+    def memory_bytes(self) -> int:
+        """Estimated registry footprint (for controller-overhead reporting)."""
+        refs = sum(len(bucket) for bucket in self._buckets.values())
+        return len(self._buckets) * _DIGEST_BYTES + refs * _REF_BYTES
+
+    def shard_for(self, digest: int, n_shards: int) -> int:
+        """Key-partitioned shard placement (the Section 4.3 scaling path).
+
+        Lookups are independent per digest, so the registry distributes
+        by digest; the single-controller experiments use ``n_shards=1``.
+        """
+        if n_shards <= 0:
+            raise ValueError("n_shards must be positive")
+        return digest % n_shards
+
+
+class ShardedFingerprintRegistry:
+    """A key-partitioned fingerprint registry (paper Section 4.3).
+
+    Accesses to the registry are independent per-digest lookups, so the
+    controller can be distributed by sharding the digest space across
+    controller nodes; chain replication provides fault tolerance.  This
+    class is API-compatible with :class:`FingerprintRegistry`: each
+    digest routes to ``shard_for(digest)``; page-level operations fan
+    out and merge.  ``replication`` models the chain length — inserts
+    are charged to every replica (for overhead accounting) while reads
+    are served by the tail.
+    """
+
+    def __init__(
+        self,
+        n_shards: int,
+        config: FingerprintConfig | None = None,
+        *,
+        max_refs_per_digest: int = 8,
+        replication: int = 1,
+    ):
+        if n_shards <= 0:
+            raise ValueError("n_shards must be positive")
+        if replication <= 0:
+            raise ValueError("replication must be positive")
+        self.config = config or FingerprintConfig()
+        self.n_shards = n_shards
+        self.replication = replication
+        self.shards = [
+            FingerprintRegistry(self.config, max_refs_per_digest=max_refs_per_digest)
+            for _ in range(n_shards)
+        ]
+
+    def shard_for(self, digest: int) -> int:
+        return digest % self.n_shards
+
+    def register_page(self, ref: PageRef, fingerprint: PageFingerprint) -> int:
+        stored = 0
+        for digest in fingerprint.digest_set:
+            shard = self.shards[self.shard_for(digest)]
+            partial = PageFingerprint(digests=(digest,), offsets=(0,))
+            stored += shard.register_page(ref, partial)
+        return stored
+
+    def deregister_checkpoint(self, checkpoint_id: int) -> int:
+        return sum(shard.deregister_checkpoint(checkpoint_id) for shard in self.shards)
+
+    def lookup(self, fingerprint: PageFingerprint) -> Counter[PageRef]:
+        counts: Counter[PageRef] = Counter()
+        for digest in fingerprint.digest_set:
+            shard = self.shards[self.shard_for(digest)]
+            partial = PageFingerprint(digests=(digest,), offsets=(0,))
+            counts.update(shard.lookup(partial))
+        return counts
+
+    def choose_base_page(
+        self,
+        fingerprint: PageFingerprint,
+        local_node_id: int,
+    ) -> tuple[PageRef, int] | None:
+        """Same selection rule as the single registry, over merged shards."""
+        counts = self.lookup(fingerprint)
+        if not counts:
+            return None
+        best = min(
+            counts.items(),
+            key=lambda item: (
+                -item[1],
+                item[0].node_id != local_node_id,
+                item[0].checkpoint_id,
+                item[0].page_index,
+            ),
+        )
+        return best[0], best[1]
+
+    @property
+    def digest_count(self) -> int:
+        return sum(shard.digest_count for shard in self.shards)
+
+    def memory_bytes(self) -> int:
+        """Total footprint across shards, times the replication factor."""
+        return sum(shard.memory_bytes() for shard in self.shards) * self.replication
+
+    def load_imbalance(self) -> float:
+        """Max-shard / mean-shard digest load (1.0 = perfectly even)."""
+        loads = [shard.digest_count for shard in self.shards]
+        mean = sum(loads) / len(loads)
+        if mean == 0:
+            return 1.0
+        return max(loads) / mean
+
+    @property
+    def stats(self) -> RegistryStats:
+        """Aggregated counters across shards."""
+        total = RegistryStats()
+        for shard in self.shards:
+            total.pages_registered += shard.stats.pages_registered
+            total.digests_registered += shard.stats.digests_registered
+            total.page_lookups += shard.stats.page_lookups
+            total.digest_lookups += shard.stats.digest_lookups
+            total.hits += shard.stats.hits
+        return total

@@ -1,0 +1,93 @@
+"""Chunk-level hashing primitives.
+
+Medes identifies redundancy at a 64-byte chunk granularity (Section
+4.1.1).  This module provides the hashing and scanning primitives shared
+by the page fingerprints (dedup path) and the Section-2 measurement
+study: SHA-1 chunk digests (truncatable, to model smaller fingerprint
+tables and their collisions) and the vectorised rolling 2-byte values
+used for value sampling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import hash_bytes
+
+#: Default chunk size in bytes (the paper's RSC size).
+DEFAULT_CHUNK_SIZE = 64
+#: Default digest width for chunk hashes.
+DEFAULT_DIGEST_BITS = 64
+
+
+def hash_chunk(chunk: bytes, bits: int = DEFAULT_DIGEST_BITS) -> int:
+    """Digest of one chunk, truncated to ``bits`` bits."""
+    return hash_bytes(chunk, bits)
+
+
+def fixed_offset_digests(
+    data: np.ndarray,
+    chunk_size: int,
+    stride: int,
+    bits: int = DEFAULT_DIGEST_BITS,
+) -> list[tuple[int, int]]:
+    """Digest chunks sampled at fixed offsets.
+
+    Returns ``(offset, digest)`` for chunks of ``chunk_size`` bytes taken
+    every ``stride`` bytes — the sampling scheme of the Section-2
+    redundancy study (``stride = 2 * chunk_size`` there).
+    """
+    if chunk_size <= 0 or stride <= 0:
+        raise ValueError("chunk_size and stride must be positive")
+    raw = data.tobytes()
+    out: list[tuple[int, int]] = []
+    for offset in range(0, len(raw) - chunk_size + 1, stride):
+        out.append((offset, hash_bytes(raw[offset : offset + chunk_size], bits)))
+    return out
+
+
+def rolling_last2(data: np.ndarray) -> np.ndarray:
+    """Value of the last two bytes of every rolling window ending at i.
+
+    ``result[i] = data[i-1] << 8 | data[i]`` for ``i >= 1``; position 0 is
+    0.  Used for EndRE-style value sampling: a window is sampled when this
+    value matches a marker pattern.
+    """
+    if data.dtype != np.uint8:
+        raise ValueError("expected uint8 data")
+    result = np.zeros(len(data), dtype=np.uint16)
+    if len(data) >= 2:
+        result[1:] = (data[:-1].astype(np.uint16) << 8) | data[1:].astype(np.uint16)
+    return result
+
+
+def marker_positions(
+    data: np.ndarray,
+    *,
+    mask: int,
+    value: int,
+    min_position: int,
+) -> np.ndarray:
+    """Window-end positions whose last-two-byte value matches the marker.
+
+    Only positions ``>= min_position`` qualify (so a full chunk fits
+    before the window end).
+    """
+    last2 = rolling_last2(data)
+    hits = np.flatnonzero((last2 & mask) == value)
+    return hits[hits >= min_position]
+
+
+def enforce_spacing(positions: np.ndarray, spacing: int) -> np.ndarray:
+    """Greedily thin ``positions`` so consecutive picks are >= spacing apart.
+
+    Keeps sampled chunks non-overlapping, mirroring EndRE's skip-ahead
+    after each sampled chunk.
+    """
+    if positions.size == 0:
+        return positions
+    kept = [int(positions[0])]
+    for pos in positions[1:]:
+        if pos - kept[-1] >= spacing:
+            kept.append(int(pos))
+    return np.asarray(kept, dtype=np.int64)

@@ -1,0 +1,154 @@
+"""Value-sampled page fingerprints (paper Section 4.1.2).
+
+A page fingerprint is a small unordered set of chunk digests chosen by
+*value sampling*: the page is scanned with a rolling 64-byte window and a
+chunk is selected whenever the last two bytes of the window match a fixed
+marker pattern.  Five such chunks (the *fingerprint set cardinality*)
+represent the page; the number of digests two pages share estimates
+their similarity.  This keeps both the computational cost (one linear
+scan + a 2-byte comparison) and the controller communication per page
+tiny, which is the crux of Medes' scalability argument.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import hash_bytes, rng_for
+from repro.memory.chunks import (
+    DEFAULT_CHUNK_SIZE,
+    DEFAULT_DIGEST_BITS,
+    enforce_spacing,
+    marker_positions,
+)
+
+
+class SamplingStrategy(enum.Enum):
+    """How the fingerprint's chunks are chosen within a page.
+
+    ``VALUE_SAMPLED`` is Medes' scheme (EndRE-style content markers):
+    sampled positions travel with the content, so two pages holding the
+    same bytes at different intra-page offsets still share digests.
+    ``FIXED_OFFSETS`` models Difference Engine's approach (Section 8):
+    chunks at fixed, randomly-drawn page offsets — cheap, but any
+    sub-page shift of the content (ASLR'd stacks, relocated objects)
+    desynchronizes the sample.  The ablation benchmark contrasts them.
+    """
+
+    VALUE_SAMPLED = "value-sampled"
+    FIXED_OFFSETS = "fixed-offsets"
+
+#: Marker: sample when the low byte of the 2-byte window tail equals 0x77.
+#: With uniform content this samples ~1/256 positions, i.e. ~16 candidate
+#: chunks per 4 KiB page — comfortably above the default cardinality of 5.
+MARKER_MASK = 0x00FF
+MARKER_VALUE = 0x0077
+
+#: Default fingerprint set cardinality (number of chunk digests per page).
+DEFAULT_CARDINALITY = 5
+
+
+@dataclass(frozen=True)
+class FingerprintConfig:
+    """Tunables of the fingerprinting scheme (Section 7.8 sensitivity)."""
+
+    chunk_size: int = DEFAULT_CHUNK_SIZE
+    cardinality: int = DEFAULT_CARDINALITY
+    digest_bits: int = DEFAULT_DIGEST_BITS
+    marker_mask: int = MARKER_MASK
+    marker_value: int = MARKER_VALUE
+    strategy: SamplingStrategy = SamplingStrategy.VALUE_SAMPLED
+
+    def __post_init__(self) -> None:
+        if self.chunk_size <= 2:
+            raise ValueError("chunk_size must exceed the 2-byte marker")
+        if self.cardinality <= 0:
+            raise ValueError("cardinality must be positive")
+        if not 1 <= self.digest_bits <= 160:
+            raise ValueError("digest_bits must be in [1, 160]")
+
+
+@dataclass(frozen=True)
+class PageFingerprint:
+    """Fingerprint of one page: sampled chunk digests and their offsets."""
+
+    digests: tuple[int, ...]
+    offsets: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.digests) != len(self.offsets):
+            raise ValueError("digests/offsets length mismatch")
+
+    @property
+    def digest_set(self) -> frozenset[int]:
+        """The unordered digest set used for similarity estimation."""
+        return frozenset(self.digests)
+
+    def overlap(self, other: "PageFingerprint") -> int:
+        """Number of shared digests with ``other`` (similarity estimate)."""
+        return len(self.digest_set & other.digest_set)
+
+
+def _fixed_offsets(page_len: int, config: FingerprintConfig) -> np.ndarray:
+    """Difference-Engine-style sampling: chunks at fixed page offsets.
+
+    The offsets are drawn once per (page length, cardinality) from a
+    global seed — the same positions on every page, like DE's
+    boot-time-randomized offsets — so identical pages still match but
+    shifted content does not.
+    """
+    max_start = page_len - config.chunk_size
+    if max_start < 0:
+        return np.empty(0, dtype=np.int64)
+    rng = rng_for("de-fixed-offsets", page_len, config.chunk_size, config.cardinality)
+    count = min(config.cardinality, max_start + 1)
+    starts = rng.choice(max_start + 1, size=count, replace=False)
+    return np.sort(starts).astype(np.int64)
+
+
+def sample_chunk_offsets(page: np.ndarray, config: FingerprintConfig) -> np.ndarray:
+    """Start offsets of the sampled chunks of ``page``.
+
+    Value sampling: window-end positions matching the marker are thinned
+    to non-overlapping chunks and capped at the configured cardinality.
+    A page with fewer marker hits than the cardinality (e.g. a zero
+    page, whose windows never match) simply yields fewer chunks.
+    """
+    if config.strategy is SamplingStrategy.FIXED_OFFSETS:
+        return _fixed_offsets(len(page), config)
+    ends = marker_positions(
+        page,
+        mask=config.marker_mask,
+        value=config.marker_value,
+        min_position=config.chunk_size - 1,
+    )
+    ends = enforce_spacing(ends, config.chunk_size)
+    starts = ends[: config.cardinality] - (config.chunk_size - 1)
+    return starts.astype(np.int64)
+
+
+def page_fingerprint(page: np.ndarray, config: FingerprintConfig | None = None) -> PageFingerprint:
+    """Compute the value-sampled fingerprint of one page."""
+    cfg = config or FingerprintConfig()
+    raw = page.tobytes()
+    starts = sample_chunk_offsets(page, cfg)
+    digests = tuple(
+        hash_bytes(raw[int(s) : int(s) + cfg.chunk_size], cfg.digest_bits) for s in starts
+    )
+    return PageFingerprint(digests=digests, offsets=tuple(int(s) for s in starts))
+
+
+def image_fingerprints(
+    image_pages: "list[np.ndarray] | object",
+    config: FingerprintConfig | None = None,
+) -> list[PageFingerprint]:
+    """Fingerprints for every page of an image (or list of page arrays)."""
+    cfg = config or FingerprintConfig()
+    if hasattr(image_pages, "iter_pages"):
+        pages = (page for _, page in image_pages.iter_pages())
+    else:
+        pages = iter(image_pages)
+    return [page_fingerprint(page, cfg) for page in pages]

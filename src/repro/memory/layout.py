@@ -1,0 +1,365 @@
+"""Region model for synthetic sandbox memory images.
+
+A sandbox's memory state is modelled as an ordered sequence of *regions*,
+each with a sharing scope that determines which other sandboxes carry the
+same bytes:
+
+* ``RUNTIME``  — identical across every sandbox in the cluster (the
+  CPython interpreter, libc, and untouched/zeroed heap).  This is the
+  dominant source of the cross-function redundancy the paper measures in
+  Figure 1c.
+* ``LIBRARY``  — identical across sandboxes whose function imports the
+  same library (numpy shared by LinAlg/ImagePro/VideoPro, the
+  TfIdfVectorizer module shared by FeatureGen/ModelTrain, ...).
+* ``FUNCTION`` — identical across sandboxes of the same function
+  (module-level state, warmed caches).
+* ``INSTANCE`` — unique to one sandbox (request-specific allocations).
+
+Shared regions have *absolute* sizes (the interpreter image is ~8 MB in
+every sandbox no matter how big the function is), while the function
+heap and instance-unique data absorb the rest of the profiled footprint.
+On top of the shared base content, each *instance* receives a sprinkling
+of single-byte mutations (copy-on-write divergence) and, under ASLR,
+per-instance *pointer site* values.  The mutation rate controls how
+redundancy decays with chunk size (Fig 1a); pointer sites control how
+much page-level dedup degrades under ASLR (Section 7.2.1) while barely
+moving the byte-level redundancy number (Fig 1b) — both effects the
+paper reports.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro._util import KIB, MIB, PAGE_SIZE, round_up
+
+
+class SharingScope(enum.Enum):
+    """Which sandboxes share a region's base content."""
+
+    RUNTIME = "runtime"
+    LIBRARY = "library"
+    FUNCTION = "function"
+    INSTANCE = "instance"
+
+
+class AslrBehavior(enum.Enum):
+    """How a region moves when address-space layout randomization is on.
+
+    ``PAGE`` models mmap-base randomization: the region lands at a
+    different page-aligned address, so its content keeps its page
+    alignment and intra-page offsets (dedup and the Section-2 study are
+    unaffected by the move itself).  ``FINE`` models the 16-byte stack
+    randomization the paper calls out: content shifts by a non-page
+    amount, destroying alignment with other instances.
+    """
+
+    PAGE = "page"
+    FINE = "fine"
+
+
+@dataclass(frozen=True)
+class RegionSpec:
+    """Specification of one memory region of a sandbox image.
+
+    Attributes:
+        name: Human-readable region name (unique within a layout).
+        scope: Sharing scope (see :class:`SharingScope`).
+        content_key: Identity of the base content stream.  Two regions
+            with the same key hold the same bytes at the same region
+            offsets (up to per-instance mutations/pointers).
+        fraction: Fraction of the image footprint this region occupies.
+        mutation_rate: Expected per-byte probability that an instance
+            flips this byte relative to the base content.
+        pointer_interval: Mean spacing in bytes between 8-byte pointer
+            sites (0 disables pointers).  Pointer values are shared when
+            ASLR is off and per-instance when ASLR is on.
+        common_fill: Fraction of the base content drawn from a global
+            pool of recurring blocks (allocator patterns, zero runs,
+            interned objects) shared across *different* content keys.
+            This produces the cross-function redundancy between regions
+            that have no library in common.
+        dirty_page_rate: Fraction of the region's pages rewritten by this
+            instance after start (copy-on-write'd pages: heap churn,
+            relocated objects).  Dirty pages defeat page-aligned
+            deduplication — they are what caps Medes' per-sandbox savings
+            (Table 3) well below the byte-level redundancy of Figure 1.
+            A rate of 1.0 makes the whole region instance-private.
+        zero_fill: If true the base content is all zero bytes.
+        aslr: Placement behaviour under ASLR.
+    """
+
+    name: str
+    scope: SharingScope
+    content_key: str
+    fraction: float
+    mutation_rate: float = 0.0
+    pointer_interval: int = 0
+    common_fill: float = 0.0
+    dirty_page_rate: float = 0.0
+    zero_fill: bool = False
+    aslr: AslrBehavior = AslrBehavior.PAGE
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.fraction <= 1.0:
+            raise ValueError(f"region {self.name}: fraction must be in (0, 1]")
+        if self.mutation_rate < 0.0 or self.mutation_rate >= 1.0:
+            raise ValueError(f"region {self.name}: bad mutation_rate")
+        if not 0.0 <= self.common_fill <= 1.0:
+            raise ValueError(f"region {self.name}: bad common_fill")
+        if not 0.0 <= self.dirty_page_rate <= 1.0:
+            raise ValueError(f"region {self.name}: bad dirty_page_rate")
+        if self.pointer_interval < 0:
+            raise ValueError(f"region {self.name}: bad pointer_interval")
+
+
+@dataclass(frozen=True)
+class PlacedRegion:
+    """A region concretized to byte offsets within an image."""
+
+    spec: RegionSpec
+    offset: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.size
+
+
+@dataclass(frozen=True)
+class ImageLayout:
+    """An ordered set of regions describing one function's memory image.
+
+    Fractions are relative to the function's *full-size* footprint; the
+    same layout places proportionally onto scaled-down images, so two
+    functions' shared regions stay equally sized at any common scale.
+    """
+
+    function: str
+    regions: tuple[RegionSpec, ...]
+
+    def __post_init__(self) -> None:
+        total = sum(r.fraction for r in self.regions)
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError(
+                f"layout for {self.function}: region fractions sum to {total}, expected 1.0"
+            )
+        names = [r.name for r in self.regions]
+        if len(set(names)) != len(names):
+            raise ValueError(f"layout for {self.function}: duplicate region names")
+
+    def place(self, total_bytes: int, page_size: int = PAGE_SIZE) -> tuple[PlacedRegion, ...]:
+        """Concretize regions to page-aligned extents covering ~total_bytes.
+
+        Every region gets at least one page; rounding keeps the realized
+        size within one page per region of the requested footprint.
+        """
+        if total_bytes < page_size * len(self.regions):
+            raise ValueError(
+                f"total_bytes={total_bytes} too small for {len(self.regions)} regions"
+            )
+        placed: list[PlacedRegion] = []
+        offset = 0
+        for spec in self.regions:
+            size = max(page_size, round_up(int(spec.fraction * total_bytes), page_size))
+            placed.append(PlacedRegion(spec=spec, offset=offset, size=size))
+            offset += size
+        return tuple(placed)
+
+
+# --- Standard layout used for the FunctionBench profiles -------------------
+
+#: Full-scale size of the shared CPython/libc runtime image.
+RUNTIME_BYTES = 8 * MIB
+#: Full-scale size of the thread stack region.
+STACK_BYTES = 256 * KIB
+#: Fraction of every image that is untouched/zeroed memory.
+ZERO_FRACTION = 0.18
+#: Share of the post-libraries remainder that is function heap (the rest
+#: is instance-unique).
+HEAP_SHARE_OF_REMAINDER = 0.72
+#: Never let fixed/shared regions claim more than this share of an image.
+MAX_SHARED_SHARE = 0.90
+
+#: Full-scale resident sizes of the FunctionBench libraries (Table 1).
+LIBRARY_BYTES: dict[str, int] = {
+    "numpy": 6 * MIB,
+    "pillow": 4 * MIB,
+    "opencv": 14 * MIB,
+    "multiprocessing": int(1.5 * MIB),
+    "chameleon": 2 * MIB,
+    "json": 512 * KIB,
+    "pyaes": 1 * MIB,
+    "sklearn-tfidf": 5 * MIB,
+    "pandas": 9 * MIB,
+    "torch": 42 * MIB,
+    "sklearn-logreg": 3 * MIB,
+}
+DEFAULT_LIBRARY_BYTES = 2 * MIB
+
+# Per-region model parameters.  Mutation rates are calibrated so the
+# Section-2 study reproduces the Fig 1a redundancy-vs-chunk-size decay;
+# pointer intervals against the paper's ASLR effects (small Fig 1b drop,
+# larger dedup-savings drop).
+RUNTIME_MUTATION = 1.6e-4
+LIBRARY_MUTATION = 2.0e-4
+HEAP_MUTATION = 3.5e-4
+RUNTIME_POINTER_INTERVAL = 2048
+LIBRARY_POINTER_INTERVAL = 1024
+HEAP_POINTER_INTERVAL = 128
+STACK_POINTER_INTERVAL = 96
+
+RUNTIME_COMMON_FILL = 0.10
+LIBRARY_COMMON_FILL = 0.85
+HEAP_COMMON_FILL = 0.80
+UNIQUE_COMMON_FILL = 0.40
+
+# Dirty-page rates: the instance-private page fraction per region kind.
+# Calibrated so per-sandbox dedup savings land in the Table-3 band with
+# the paper's ordering (read-mostly ML libraries like torch dedup best;
+# heap-churning functions like MapReduce dedup worst).
+RUNTIME_DIRTY_RATE = 0.22
+ZERO_DIRTY_RATE = 0.08
+STACK_DIRTY_RATE = 1.0
+HEAP_DIRTY_RATE = 0.55
+DEFAULT_LIBRARY_DIRTY_RATE = 0.35
+LIBRARY_DIRTY_RATE: dict[str, float] = {
+    "torch": 0.12,
+    "opencv": 0.25,
+    "sklearn-tfidf": 0.25,
+    "pillow": 0.30,
+    "numpy": 0.35,
+    "pandas": 0.45,
+    "multiprocessing": 0.60,
+}
+
+
+def standard_layout(
+    function: str,
+    libraries: tuple[str, ...],
+    total_bytes: int,
+    *,
+    unique_boost: float = 1.0,
+) -> ImageLayout:
+    """Build the standard FunctionBench-style layout for ``function``.
+
+    Args:
+        function: Function name (content identity of its private regions).
+        libraries: Imported libraries; each contributes a LIBRARY region
+            of its tabulated absolute size, shared with every other
+            function importing it.
+        total_bytes: The function's full-scale memory footprint (Table 2).
+        unique_boost: Multiplier on the instance-unique share.  Functions
+            with unusually large request-private state (e.g. FeatureGen)
+            use >1, which lowers their cross-function redundancy exactly
+            as Fig 1c shows.
+    """
+    if total_bytes <= RUNTIME_BYTES:
+        raise ValueError(
+            f"{function}: footprint {total_bytes} must exceed the runtime size {RUNTIME_BYTES}"
+        )
+    zero_bytes = int(ZERO_FRACTION * total_bytes)
+    lib_sizes = {lib: LIBRARY_BYTES.get(lib, DEFAULT_LIBRARY_BYTES) for lib in libraries}
+    fixed = RUNTIME_BYTES + STACK_BYTES + zero_bytes + sum(lib_sizes.values())
+    budget = int(MAX_SHARED_SHARE * total_bytes)
+    if fixed > budget:
+        # Oversized library sets (relative to the profiled footprint) are
+        # squeezed proportionally — the resident subset of the libraries.
+        squeeze = (budget - RUNTIME_BYTES - STACK_BYTES - zero_bytes) / max(
+            1, sum(lib_sizes.values())
+        )
+        if squeeze <= 0:
+            raise ValueError(f"{function}: footprint too small for runtime+stack+zero regions")
+        lib_sizes = {lib: max(PAGE_SIZE, int(size * squeeze)) for lib, size in lib_sizes.items()}
+        fixed = RUNTIME_BYTES + STACK_BYTES + zero_bytes + sum(lib_sizes.values())
+
+    remainder = total_bytes - fixed
+    unique_bytes = min(remainder - PAGE_SIZE, int(remainder * (1.0 - HEAP_SHARE_OF_REMAINDER) * unique_boost))
+    unique_bytes = max(PAGE_SIZE, unique_bytes)
+    heap_bytes = remainder - unique_bytes
+
+    def frac(size: int) -> float:
+        return size / total_bytes
+
+    regions: list[RegionSpec] = [
+        RegionSpec(
+            name="runtime",
+            scope=SharingScope.RUNTIME,
+            content_key="runtime:cpython",
+            fraction=frac(RUNTIME_BYTES),
+            mutation_rate=RUNTIME_MUTATION,
+            pointer_interval=RUNTIME_POINTER_INTERVAL,
+            common_fill=RUNTIME_COMMON_FILL,
+            dirty_page_rate=RUNTIME_DIRTY_RATE,
+        ),
+        RegionSpec(
+            name="zero",
+            scope=SharingScope.RUNTIME,
+            content_key="runtime:zero",
+            fraction=frac(zero_bytes),
+            zero_fill=True,
+            dirty_page_rate=ZERO_DIRTY_RATE,
+        ),
+        RegionSpec(
+            name="stack",
+            scope=SharingScope.FUNCTION,
+            content_key=f"stack:{function}",
+            fraction=frac(STACK_BYTES),
+            mutation_rate=HEAP_MUTATION,
+            pointer_interval=STACK_POINTER_INTERVAL,
+            common_fill=0.30,
+            dirty_page_rate=STACK_DIRTY_RATE,
+            aslr=AslrBehavior.FINE,
+        ),
+    ]
+    for lib, size in lib_sizes.items():
+        regions.append(
+            RegionSpec(
+                name=f"lib-{lib}",
+                scope=SharingScope.LIBRARY,
+                content_key=f"lib:{lib}",
+                fraction=frac(size),
+                mutation_rate=LIBRARY_MUTATION,
+                pointer_interval=LIBRARY_POINTER_INTERVAL,
+                common_fill=LIBRARY_COMMON_FILL,
+                dirty_page_rate=LIBRARY_DIRTY_RATE.get(lib, DEFAULT_LIBRARY_DIRTY_RATE),
+            )
+        )
+    regions.append(
+        RegionSpec(
+            name="heap",
+            scope=SharingScope.FUNCTION,
+            content_key=f"heap:{function}",
+            fraction=frac(heap_bytes),
+            mutation_rate=HEAP_MUTATION,
+            pointer_interval=HEAP_POINTER_INTERVAL,
+            common_fill=HEAP_COMMON_FILL,
+            dirty_page_rate=HEAP_DIRTY_RATE,
+        )
+    )
+    regions.append(
+        RegionSpec(
+            name="unique",
+            scope=SharingScope.INSTANCE,
+            content_key=f"unique:{function}",
+            fraction=frac(unique_bytes),
+            common_fill=UNIQUE_COMMON_FILL,
+            dirty_page_rate=1.0,
+        )
+    )
+    # Absorb the rounding slack into the heap fraction so fractions sum to 1.
+    slack = 1.0 - sum(r.fraction for r in regions)
+    heap_idx = next(i for i, r in enumerate(regions) if r.name == "heap")
+    heap = regions[heap_idx]
+    regions[heap_idx] = RegionSpec(
+        name=heap.name,
+        scope=heap.scope,
+        content_key=heap.content_key,
+        fraction=heap.fraction + slack,
+        mutation_rate=heap.mutation_rate,
+        pointer_interval=heap.pointer_interval,
+        common_fill=heap.common_fill,
+        dirty_page_rate=heap.dirty_page_rate,
+    )
+    return ImageLayout(function=function, regions=tuple(regions))

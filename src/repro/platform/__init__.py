@@ -1,0 +1,39 @@
+"""Platform assembly, configuration and metrics."""
+
+from repro.platform.config import ClusterConfig, ColdStartMode
+from repro.platform.metrics import (
+    DedupOpRecord,
+    MemorySample,
+    RequestRecord,
+    RestoreOpRecord,
+    RunMetrics,
+    StartType,
+    improvement_factors,
+)
+from repro.platform.platform import Platform, PlatformKind, RunReport, build_platform
+from repro.platform.report_io import (
+    comparison_to_dict,
+    metrics_to_dict,
+    report_to_dict,
+    save_report,
+)
+
+__all__ = [
+    "ClusterConfig",
+    "ColdStartMode",
+    "DedupOpRecord",
+    "MemorySample",
+    "Platform",
+    "PlatformKind",
+    "RequestRecord",
+    "RestoreOpRecord",
+    "RunMetrics",
+    "RunReport",
+    "StartType",
+    "build_platform",
+    "comparison_to_dict",
+    "metrics_to_dict",
+    "report_to_dict",
+    "save_report",
+    "improvement_factors",
+]

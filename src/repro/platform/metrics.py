@@ -1,0 +1,203 @@
+"""Run metrics: request records, start counters, memory timeline.
+
+Every platform run produces a :class:`RunMetrics` with one record per
+request (start type, queueing, startup and end-to-end latency), dedup-op
+and restore-op records, a sampled cluster-memory timeline, and sandbox
+population counts — everything the evaluation's tables and figures are
+derived from.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+
+from repro._util import percentile
+
+
+class StartType(enum.Enum):
+    """How a request's sandbox was obtained."""
+
+    COLD = "cold"
+    WARM = "warm"
+    DEDUP = "dedup"
+
+
+@dataclass
+class RequestRecord:
+    """Lifecycle of one request through the platform."""
+
+    request_id: int
+    function: str
+    arrival_ms: float
+    start_type: StartType | None = None
+    queued_ms: float = 0.0
+    startup_ms: float = 0.0
+    exec_ms: float = 0.0
+    completion_ms: float | None = None
+
+    @property
+    def e2e_ms(self) -> float:
+        """End-to-end latency (arrival to completion)."""
+        if self.completion_ms is None:
+            raise RuntimeError(f"request {self.request_id} not completed")
+        return self.completion_ms - self.arrival_ms
+
+    @property
+    def slowdown(self) -> float:
+        """E2E latency normalized by pure execution time."""
+        if self.exec_ms <= 0:
+            return 1.0
+        return self.e2e_ms / self.exec_ms
+
+
+@dataclass(frozen=True)
+class DedupOpRecord:
+    """One dedup op (background) for overhead reporting (§7.7)."""
+
+    function: str
+    sandbox_id: int
+    started_ms: float
+    duration_ms: float
+    lookup_ms: float
+    savings_fraction: float
+    retained_full_bytes: int
+    same_function_pages: int
+    cross_function_pages: int
+
+
+@dataclass(frozen=True)
+class RestoreOpRecord:
+    """One restore op (dedup start) with the Figure-8 phase breakdown."""
+
+    function: str
+    sandbox_id: int
+    started_ms: float
+    base_read_ms: float
+    compute_ms: float
+    restore_ms: float
+
+    @property
+    def total_ms(self) -> float:
+        return self.base_read_ms + self.compute_ms + self.restore_ms
+
+
+@dataclass(frozen=True)
+class MemorySample:
+    """Cluster memory usage at one sampling instant."""
+
+    time_ms: float
+    used_bytes: int
+    warm_count: int
+    dedup_count: int
+    total_sandboxes: int
+
+
+@dataclass
+class RunMetrics:
+    """Everything measured during one platform run."""
+
+    platform_name: str
+    requests: dict[int, RequestRecord] = field(default_factory=dict)
+    dedup_ops: list[DedupOpRecord] = field(default_factory=list)
+    restore_ops: list[RestoreOpRecord] = field(default_factory=list)
+    memory_timeline: list[MemorySample] = field(default_factory=list)
+    evictions: int = 0
+    prewarm_spawns: int = 0
+    sandboxes_created: int = 0
+    bases_created: int = 0
+
+    # -------------------------------------------------------------- record
+
+    def on_arrival(self, request_id: int, function: str, now: float) -> RequestRecord:
+        record = RequestRecord(request_id=request_id, function=function, arrival_ms=now)
+        self.requests[request_id] = record
+        return record
+
+    def completed_records(self) -> list[RequestRecord]:
+        return [r for r in self.requests.values() if r.completion_ms is not None]
+
+    # ------------------------------------------------------------- derive
+
+    def start_counts(self, function: str | None = None) -> Counter[StartType]:
+        counts: Counter[StartType] = Counter()
+        for record in self.completed_records():
+            if function is None or record.function == function:
+                counts[record.start_type] += 1
+        return counts
+
+    def cold_starts(self, function: str | None = None) -> int:
+        return self.start_counts(function)[StartType.COLD]
+
+    def cold_starts_by_function(self) -> dict[str, int]:
+        counts: dict[str, int] = defaultdict(int)
+        for record in self.completed_records():
+            if record.start_type is StartType.COLD:
+                counts[record.function] += 1
+        return dict(counts)
+
+    def e2e_percentile(self, pct: float, function: str | None = None) -> float:
+        values = [
+            r.e2e_ms
+            for r in self.completed_records()
+            if function is None or r.function == function
+        ]
+        return percentile(values, pct)
+
+    def startup_percentile(self, pct: float, function: str | None = None) -> float:
+        values = [
+            r.startup_ms
+            for r in self.completed_records()
+            if function is None or r.function == function
+        ]
+        return percentile(values, pct)
+
+    def mean_memory_bytes(self) -> float:
+        if not self.memory_timeline:
+            return 0.0
+        return sum(s.used_bytes for s in self.memory_timeline) / len(self.memory_timeline)
+
+    def median_memory_bytes(self) -> float:
+        return percentile([s.used_bytes for s in self.memory_timeline], 50)
+
+    def mean_sandbox_count(self) -> float:
+        if not self.memory_timeline:
+            return 0.0
+        return sum(s.total_sandboxes for s in self.memory_timeline) / len(self.memory_timeline)
+
+    def dedup_share(self) -> float:
+        """Fraction of created sandboxes that were ever deduplicated."""
+        if self.sandboxes_created == 0:
+            return 0.0
+        deduped = len({op.sandbox_id for op in self.dedup_ops})
+        return deduped / self.sandboxes_created
+
+    def functions(self) -> tuple[str, ...]:
+        seen: dict[str, None] = {}
+        for record in self.requests.values():
+            seen.setdefault(record.function, None)
+        return tuple(seen)
+
+
+def improvement_factors(
+    baseline: RunMetrics,
+    improved: RunMetrics,
+    function: str | None = None,
+) -> list[float]:
+    """Per-request e2e ratios baseline/improved (Figure 7a's CDF).
+
+    Requests are paired by id — both runs must have replayed the same
+    trace.  A factor above 1 means ``improved`` was faster.
+    """
+    factors: list[float] = []
+    for request_id, base_record in baseline.requests.items():
+        other = improved.requests.get(request_id)
+        if other is None or base_record.completion_ms is None or other.completion_ms is None:
+            continue
+        if function is not None and base_record.function != function:
+            continue
+        if other.e2e_ms <= 0:
+            continue
+        factors.append(base_record.e2e_ms / other.e2e_ms)
+    return factors

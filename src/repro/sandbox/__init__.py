@@ -1,0 +1,29 @@
+"""Sandbox substrate: lifecycle, checkpoints, sandbox entities, nodes."""
+
+from repro.sandbox.checkpoint import BaseCheckpoint, CheckpointStore
+from repro.sandbox.node import CapacityError, EvictionOrder, Node, least_used_node
+from repro.sandbox.sandbox import Sandbox
+from repro.sandbox.state import (
+    ASSIGNABLE_STATES,
+    FULL_FOOTPRINT_STATES,
+    InvalidTransition,
+    SandboxState,
+    allowed_transitions,
+    check_transition,
+)
+
+__all__ = [
+    "ASSIGNABLE_STATES",
+    "BaseCheckpoint",
+    "CapacityError",
+    "EvictionOrder",
+    "CheckpointStore",
+    "FULL_FOOTPRINT_STATES",
+    "InvalidTransition",
+    "Node",
+    "Sandbox",
+    "SandboxState",
+    "allowed_transitions",
+    "check_transition",
+    "least_used_node",
+]

@@ -1,0 +1,124 @@
+"""Checkpoints: frozen memory states (the reproduction's CRIU).
+
+Two kinds of checkpoint exist in Medes:
+
+* the transient checkpoint taken at the start of a dedup op (here simply
+  the sandbox's immutable :class:`~repro.memory.image.MemoryImage`); and
+* pinned **base checkpoints** — the frozen memory of a base sandbox,
+  registered in the fingerprint registry and kept addressable (in memory,
+  RDMA-readable) for other sandboxes' patches.  A refcount, maintained by
+  the controller, pins a base checkpoint for as long as any dedup
+  sandbox's page table references it (Section 4.1.3).
+
+Base checkpoints are cheap while their owner sandbox is still resident
+(the pages are shared copy-on-write with the warm sandbox) and cost their
+full footprint once the owner is purged.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.memory.image import MemoryImage
+
+_checkpoint_ids = itertools.count(1)
+
+
+@dataclass(eq=False)
+class BaseCheckpoint:
+    # eq=False: checkpoints are mutable entities compared by identity.
+    """A pinned, RDMA-readable frozen memory state of a base sandbox."""
+
+    function: str
+    node_id: int
+    image: MemoryImage
+    owner_sandbox_id: int
+    full_size_bytes: int
+    """Full-scale footprint the checkpoint represents (accounting)."""
+    cow_overhead_fraction: float = 0.10
+    """Fraction of the footprint charged while the owner is resident."""
+    checkpoint_id: int = field(default_factory=lambda: next(_checkpoint_ids))
+    refcount: int = 0
+    owner_resident: bool = True
+    registered: bool = False
+    """Whether this checkpoint's pages populate the fingerprint registry."""
+
+    def acquire(self, count: int = 1) -> None:
+        """Add references from a dedup sandbox's page table."""
+        if count < 0:
+            raise ValueError("negative refcount acquire")
+        self.refcount += count
+
+    def release(self, count: int = 1) -> None:
+        """Drop references; the refcount never goes negative."""
+        if count < 0:
+            raise ValueError("negative refcount release")
+        if self.refcount - count < 0:
+            raise RuntimeError(
+                f"base checkpoint {self.checkpoint_id}: refcount underflow "
+                f"({self.refcount} - {count})"
+            )
+        self.refcount -= count
+
+    @property
+    def pinned(self) -> bool:
+        """True while dedup sandboxes still depend on this checkpoint."""
+        return self.refcount > 0
+
+    def memory_bytes(self) -> int:
+        """Accounting charge of this checkpoint on its node.
+
+        Copy-on-write with the resident owner is nearly free; once the
+        owner is purged the frozen pages are charged in full.
+        """
+        if self.owner_resident:
+            return int(self.full_size_bytes * self.cow_overhead_fraction)
+        return self.full_size_bytes
+
+    def page_bytes(self, index: int) -> bytes:
+        """Content of page ``index`` (what an RDMA read returns)."""
+        return self.image.page_bytes(index)
+
+
+class CheckpointStore:
+    """Cluster-wide directory of base checkpoints, addressable by id.
+
+    This plays the role of RDMA-registered memory: any node can read a
+    base page given its (checkpoint, page) address.  The *cost* of such
+    reads is modelled by :class:`repro.sim.network.RdmaFabric`; this
+    store provides the content.
+    """
+
+    def __init__(self) -> None:
+        self._by_id: dict[int, BaseCheckpoint] = {}
+
+    def add(self, checkpoint: BaseCheckpoint) -> None:
+        if checkpoint.checkpoint_id in self._by_id:
+            raise ValueError(f"duplicate checkpoint id {checkpoint.checkpoint_id}")
+        self._by_id[checkpoint.checkpoint_id] = checkpoint
+
+    def get(self, checkpoint_id: int) -> BaseCheckpoint:
+        try:
+            return self._by_id[checkpoint_id]
+        except KeyError:
+            raise KeyError(f"unknown checkpoint {checkpoint_id}") from None
+
+    def remove(self, checkpoint_id: int) -> BaseCheckpoint:
+        """Drop a checkpoint; refuses while it is still pinned."""
+        checkpoint = self.get(checkpoint_id)
+        if checkpoint.pinned:
+            raise RuntimeError(
+                f"checkpoint {checkpoint_id} still referenced ({checkpoint.refcount})"
+            )
+        return self._by_id.pop(checkpoint_id)
+
+    def for_function(self, function: str) -> list[BaseCheckpoint]:
+        """All live base checkpoints of ``function``."""
+        return [c for c in self._by_id.values() if c.function == function]
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __iter__(self):
+        return iter(self._by_id.values())

@@ -1,0 +1,113 @@
+"""Worker nodes: memory accounting for sandboxes and pinned checkpoints.
+
+A node is a capacity-bounded container of residents.  The scheduler
+consults nodes for placement (least-used-memory first, as the paper's
+default) and the eviction machinery asks them for idle candidates when
+memory pressure hits.  Per-node memory limits are *soft-defined* the way
+the paper's testbed does it: a software limit passed in the cluster
+configuration (Section 7.1 uses 2 GB/node to oversubscribe the cluster).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro._util import stable_seed
+from repro.sandbox.checkpoint import BaseCheckpoint
+from repro.sandbox.sandbox import Sandbox
+
+
+class EvictionOrder(enum.Enum):
+    """Victim ordering under memory pressure (ablation knob).
+
+    The platform defaults to LRU; the alternatives exist to quantify how
+    much of Medes' advantage depends on the baseline's eviction quality
+    (see benchmarks/bench_ablations.py).
+    """
+
+    LRU = "lru"
+    """Least-recently-used idle sandbox first (default)."""
+    LARGEST_FIRST = "largest-first"
+    """Free the most memory with the fewest evictions."""
+    RANDOM = "random"
+    """Uniformly random among idle sandboxes (deterministic per state)."""
+
+
+class CapacityError(RuntimeError):
+    """Raised when an admission would exceed the node's memory limit."""
+
+
+@dataclass
+class Node:
+    """One worker node."""
+
+    node_id: int
+    capacity_bytes: int
+    sandboxes: dict[int, Sandbox] = field(default_factory=dict)
+    checkpoints: dict[int, BaseCheckpoint] = field(default_factory=dict)
+
+    def used_bytes(self) -> int:
+        """Current full-scale memory charge on this node."""
+        total = sum(sandbox.memory_bytes() for sandbox in self.sandboxes.values())
+        total += sum(checkpoint.memory_bytes() for checkpoint in self.checkpoints.values())
+        return total
+
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.used_bytes()
+
+    def fits(self, extra_bytes: int) -> bool:
+        """Would admitting ``extra_bytes`` stay within the soft limit?"""
+        return self.used_bytes() + extra_bytes <= self.capacity_bytes
+
+    def admit(self, sandbox: Sandbox) -> None:
+        """Place a sandbox on this node (capacity is checked by callers
+        via :meth:`fits` so that eviction can run first; this guards
+        against programming errors, not pressure)."""
+        if sandbox.sandbox_id in self.sandboxes:
+            raise ValueError(f"sandbox {sandbox.sandbox_id} already on node {self.node_id}")
+        if sandbox.node_id != self.node_id:
+            raise ValueError(
+                f"sandbox {sandbox.sandbox_id} targets node {sandbox.node_id}, "
+                f"not {self.node_id}"
+            )
+        self.sandboxes[sandbox.sandbox_id] = sandbox
+
+    def remove(self, sandbox_id: int) -> Sandbox:
+        try:
+            return self.sandboxes.pop(sandbox_id)
+        except KeyError:
+            raise KeyError(f"sandbox {sandbox_id} not on node {self.node_id}") from None
+
+    def pin_checkpoint(self, checkpoint: BaseCheckpoint) -> None:
+        if checkpoint.node_id != self.node_id:
+            raise ValueError("checkpoint pinned to the wrong node")
+        self.checkpoints[checkpoint.checkpoint_id] = checkpoint
+
+    def unpin_checkpoint(self, checkpoint_id: int) -> BaseCheckpoint:
+        try:
+            return self.checkpoints.pop(checkpoint_id)
+        except KeyError:
+            raise KeyError(f"checkpoint {checkpoint_id} not on node {self.node_id}") from None
+
+    def eviction_candidates(
+        self, order: EvictionOrder = EvictionOrder.LRU
+    ) -> list[Sandbox]:
+        """Idle, non-base sandboxes in eviction order (default LRU)."""
+        victims = [s for s in self.sandboxes.values() if s.evictable]
+        if order is EvictionOrder.LRU:
+            victims.sort(key=lambda s: (s.last_used_at, s.sandbox_id))
+        elif order is EvictionOrder.LARGEST_FIRST:
+            victims.sort(key=lambda s: (-s.memory_bytes(), s.last_used_at, s.sandbox_id))
+        elif order is EvictionOrder.RANDOM:
+            victims.sort(key=lambda s: stable_seed("evict", s.sandbox_id, s.last_used_at))
+        else:  # pragma: no cover - exhaustive enum
+            raise AssertionError(f"unhandled eviction order {order}")
+        return victims
+
+
+def least_used_node(nodes: list[Node]) -> Node:
+    """The paper's default placement: the node with least memory usage."""
+    if not nodes:
+        raise ValueError("no nodes")
+    return min(nodes, key=lambda n: (n.used_bytes(), n.node_id))

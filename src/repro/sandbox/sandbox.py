@@ -1,0 +1,119 @@
+"""The sandbox entity: one container with its memory state and lifecycle."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+from repro.memory.image import MemoryImage
+from repro.sandbox.state import (
+    ASSIGNABLE_STATES,
+    FULL_FOOTPRINT_STATES,
+    SandboxState,
+    check_transition,
+)
+from repro.workload.functionbench import FunctionProfile
+
+_sandbox_ids = itertools.count(1)
+
+
+@runtime_checkable
+class RetainedState(Protocol):
+    """What a dedup page table must expose to the sandbox's accounting."""
+
+    @property
+    def retained_full_bytes(self) -> int:
+        """Full-scale bytes kept in memory for the deduplicated sandbox."""
+        ...
+
+
+@dataclass
+class Sandbox:
+    """One sandbox instance on a node.
+
+    The sandbox owns its memory image while warm and its dedup page
+    table while deduplicated; the two are never resident together except
+    transiently during dedup/restore ops.
+    """
+
+    profile: FunctionProfile
+    node_id: int
+    instance_seed: int
+    created_at: float
+    state: SandboxState = SandboxState.SPAWNING
+    sandbox_id: int = field(default_factory=lambda: next(_sandbox_ids))
+    image: MemoryImage | None = None
+    dedup_table: RetainedState | None = None
+    last_used_at: float = 0.0
+    last_idle_at: float = 0.0
+    busy_request_id: int | None = None
+    is_base: bool = False
+    base_checkpoint_id: int | None = None
+    served_requests: int = 0
+    dedup_count: int = 0
+
+    def __post_init__(self) -> None:
+        self.last_used_at = self.created_at
+        self.last_idle_at = self.created_at
+
+    @property
+    def function(self) -> str:
+        return self.profile.name
+
+    @property
+    def assignable(self) -> bool:
+        """Can this sandbox be handed a request right now?"""
+        return self.state in ASSIGNABLE_STATES and self.busy_request_id is None
+
+    @property
+    def idle_warm(self) -> bool:
+        return self.state is SandboxState.WARM and self.busy_request_id is None
+
+    @property
+    def evictable(self) -> bool:
+        """Idle sandboxes may be evicted; base sandboxes are pinned."""
+        if self.is_base:
+            return False
+        return self.busy_request_id is None and self.state in (
+            SandboxState.WARM,
+            SandboxState.DEDUP,
+        )
+
+    def transition(self, new_state: SandboxState, now: float) -> None:
+        """Move the lifecycle forward, enforcing Figure 4b."""
+        check_transition(self.state, new_state)
+        self.state = new_state
+        if new_state is SandboxState.WARM:
+            self.last_idle_at = now
+        if new_state is SandboxState.RUNNING:
+            self.last_used_at = now
+
+    def memory_bytes(self) -> int:
+        """Full-scale memory charge of this sandbox in its current state.
+
+        * warm/running/spawning/deduping: the full warm footprint;
+        * dedup: only the retained patches/unique pages + metadata;
+        * restoring: both are transiently resident (this is the restore
+          overhead ``m_R`` the policy accounts for, Section 5.1);
+        * purged: nothing.
+        """
+        if self.state is SandboxState.PURGED:
+            return 0
+        full = self.profile.memory_bytes
+        if self.state in FULL_FOOTPRINT_STATES:
+            return full
+        if self.dedup_table is None:
+            raise RuntimeError(f"sandbox {self.sandbox_id} in {self.state} without dedup table")
+        retained = self.dedup_table.retained_full_bytes
+        if self.state is SandboxState.DEDUP:
+            return retained
+        if self.state is SandboxState.RESTORING:
+            return full + retained
+        raise AssertionError(f"unhandled state {self.state}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Sandbox(id={self.sandbox_id}, fn={self.function}, node={self.node_id}, "
+            f"state={self.state.value}, base={self.is_base})"
+        )

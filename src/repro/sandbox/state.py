@@ -1,0 +1,77 @@
+"""Sandbox lifecycle state machine (paper Figure 4b).
+
+Medes extends the classic cold/warm lifecycle with the dedup state and
+its transitions.  Transient states (SPAWNING, DEDUPING, RESTORING) model
+the operations in flight; a sandbox in a transient state cannot accept
+requests.  Transitions outside the table below raise
+:class:`InvalidTransition`, which tests use to pin the lifecycle down.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class SandboxState(enum.Enum):
+    """States of the Medes sandbox lifecycle."""
+
+    SPAWNING = "spawning"
+    """Cold start in progress: environment being initialized."""
+
+    RUNNING = "running"
+    """Executing a function request."""
+
+    WARM = "warm"
+    """Idle with full memory state resident; serves warm starts."""
+
+    DEDUPING = "deduping"
+    """Dedup op in progress (checkpoint, lookup, patch)."""
+
+    DEDUP = "dedup"
+    """Deduplicated: only patches + unique pages resident."""
+
+    RESTORING = "restoring"
+    """Restore op in progress (base-page reads, patch application)."""
+
+    PURGED = "purged"
+    """Removed from memory; terminal."""
+
+
+_ALLOWED: dict[SandboxState, frozenset[SandboxState]] = {
+    SandboxState.SPAWNING: frozenset(
+        # SPAWNING -> WARM is the pre-warm path: a sandbox spawned ahead
+        # of demand becomes idle-warm without serving a request first.
+        {SandboxState.RUNNING, SandboxState.WARM, SandboxState.PURGED}
+    ),
+    SandboxState.RUNNING: frozenset({SandboxState.WARM}),
+    SandboxState.WARM: frozenset(
+        {SandboxState.RUNNING, SandboxState.DEDUPING, SandboxState.PURGED}
+    ),
+    SandboxState.DEDUPING: frozenset({SandboxState.DEDUP, SandboxState.WARM}),
+    SandboxState.DEDUP: frozenset({SandboxState.RESTORING, SandboxState.PURGED}),
+    SandboxState.RESTORING: frozenset({SandboxState.RUNNING, SandboxState.WARM}),
+    SandboxState.PURGED: frozenset(),
+}
+
+#: States in which the sandbox occupies its full warm footprint.
+FULL_FOOTPRINT_STATES = frozenset(
+    {SandboxState.SPAWNING, SandboxState.RUNNING, SandboxState.WARM, SandboxState.DEDUPING}
+)
+
+#: States in which a sandbox may be assigned a request.
+ASSIGNABLE_STATES = frozenset({SandboxState.WARM, SandboxState.DEDUP})
+
+
+class InvalidTransition(RuntimeError):
+    """Raised on a lifecycle transition outside Figure 4b."""
+
+
+def check_transition(current: SandboxState, new: SandboxState) -> None:
+    """Validate a lifecycle transition, raising :class:`InvalidTransition`."""
+    if new not in _ALLOWED[current]:
+        raise InvalidTransition(f"illegal sandbox transition {current.value} -> {new.value}")
+
+
+def allowed_transitions(state: SandboxState) -> frozenset[SandboxState]:
+    """The set of states reachable from ``state`` in one transition."""
+    return _ALLOWED[state]

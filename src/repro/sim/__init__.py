@@ -1,0 +1,14 @@
+"""Discrete-event simulation substrate: the event engine and the RDMA fabric."""
+
+from repro.sim.engine import SimulationError, Simulator, Timer
+from repro.sim.network import PeerUnavailable, RdmaConfig, RdmaFabric, TransferStats
+
+__all__ = [
+    "PeerUnavailable",
+    "RdmaConfig",
+    "RdmaFabric",
+    "SimulationError",
+    "Simulator",
+    "Timer",
+    "TransferStats",
+]

@@ -1,0 +1,150 @@
+"""Discrete-event simulation engine.
+
+A small, deterministic event loop: events are (time, sequence) ordered on
+a binary heap, callbacks run strictly in that order, and timers can be
+cancelled (lazily — cancelled entries are skipped on pop).  All of the
+cluster — request arrivals, sandbox lifecycles, keep-alive expiries,
+dedup/restore completions — runs on one :class:`Simulator`.
+
+Times are floating-point **milliseconds** throughout the reproduction.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+class SimulationError(RuntimeError):
+    """Raised for inconsistent use of the simulator (e.g. past scheduling)."""
+
+
+@dataclass(order=True)
+class _Entry:
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class Timer:
+    """Handle to a scheduled event; supports cancellation."""
+
+    __slots__ = ("_entry",)
+
+    def __init__(self, entry: _Entry):
+        self._entry = entry
+
+    @property
+    def time(self) -> float:
+        """Absolute fire time in ms."""
+        return self._entry.time
+
+    @property
+    def cancelled(self) -> bool:
+        return self._entry.cancelled
+
+    @property
+    def pending(self) -> bool:
+        """True if the event has not fired and not been cancelled."""
+        return not self._entry.cancelled and self._entry.callback is not _fired
+
+    def cancel(self) -> None:
+        """Cancel the event; a no-op if it already fired."""
+        self._entry.cancelled = True
+
+
+def _fired() -> None:  # sentinel marking consumed entries
+    raise AssertionError("fired sentinel must never be called")
+
+
+class Simulator:
+    """Deterministic discrete-event loop with millisecond timestamps."""
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._heap: list[_Entry] = []
+        self._seq = itertools.count()
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in ms."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of callbacks executed so far."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Events still queued (including lazily-cancelled ones)."""
+        return len(self._heap)
+
+    def at(self, time: float, callback: Callable[[], None]) -> Timer:
+        """Schedule ``callback`` at absolute time ``time`` (>= now)."""
+        if time < self._now - 1e-9:
+            raise SimulationError(f"cannot schedule at {time} < now {self._now}")
+        entry = _Entry(time=max(time, self._now), seq=next(self._seq), callback=callback)
+        heapq.heappush(self._heap, entry)
+        return Timer(entry)
+
+    def after(self, delay: float, callback: Callable[[], None]) -> Timer:
+        """Schedule ``callback`` after ``delay`` ms."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.at(self._now + delay, callback)
+
+    def every(self, interval: float, callback: Callable[[], None]) -> Timer:
+        """Schedule ``callback`` every ``interval`` ms until cancelled.
+
+        Returns the timer for the *next* occurrence; cancelling it stops
+        the whole series.
+        """
+        if interval <= 0:
+            raise SimulationError(f"non-positive interval {interval}")
+        holder: dict[str, Timer] = {}
+
+        def tick() -> None:
+            callback()
+            holder["timer"]._entry = self.after(interval, tick)._entry
+
+        holder["timer"] = self.after(interval, tick)
+        return holder["timer"]
+
+    def step(self) -> bool:
+        """Run the next pending event.  Returns False when queue is empty."""
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            if entry.cancelled:
+                continue
+            self._now = entry.time
+            callback = entry.callback
+            entry.callback = _fired
+            self._events_processed += 1
+            callback()
+            return True
+        return False
+
+    def run_until(self, end_time: float) -> None:
+        """Run all events with ``time <= end_time`` and advance the clock."""
+        while self._heap:
+            head = self._heap[0]
+            if head.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if head.time > end_time:
+                break
+            self.step()
+        self._now = max(self._now, end_time)
+
+    def run(self, max_events: int | None = None) -> None:
+        """Run until the queue drains (or ``max_events`` callbacks ran)."""
+        remaining = max_events if max_events is not None else float("inf")
+        while remaining > 0 and self.step():
+            remaining -= 1
+        if remaining <= 0 and self._heap:
+            raise SimulationError(f"event budget exhausted with {len(self._heap)} pending")

@@ -1,0 +1,26 @@
+"""Workloads: FunctionBench profiles and Azure-style arrival traces."""
+
+from repro.workload.azure import AzureTraceGenerator, PatternKind, PatternSpec, sample_arrivals
+from repro.workload.functionbench import (
+    REPRESENTATIVE_SUBSET,
+    FunctionBenchSuite,
+    FunctionProfile,
+)
+from repro.workload.trace import Request, Trace
+from repro.workload.trace_io import dump_trace, dumps_trace, load_trace, loads_trace
+
+__all__ = [
+    "AzureTraceGenerator",
+    "FunctionBenchSuite",
+    "FunctionProfile",
+    "PatternKind",
+    "PatternSpec",
+    "REPRESENTATIVE_SUBSET",
+    "Request",
+    "Trace",
+    "dump_trace",
+    "dumps_trace",
+    "load_trace",
+    "loads_trace",
+    "sample_arrivals",
+]

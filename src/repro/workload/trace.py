@@ -1,0 +1,104 @@
+"""Request traces: the workload container consumed by the platform.
+
+A :class:`Trace` is an immutable, time-sorted sequence of
+:class:`Request` records.  The same trace object is replayed against
+Medes and every baseline so comparisons are paired per request — the
+paper's Figure 7a improvement-factor CDF relies on this pairing.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from collections import Counter
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Request:
+    """One function invocation."""
+
+    request_id: int
+    function: str
+    arrival_ms: float
+
+    def __post_init__(self) -> None:
+        if self.arrival_ms < 0:
+            raise ValueError("arrival_ms must be non-negative")
+
+
+@dataclass(frozen=True)
+class Trace:
+    """A time-sorted immutable sequence of requests."""
+
+    requests: tuple[Request, ...]
+
+    def __post_init__(self) -> None:
+        times = [r.arrival_ms for r in self.requests]
+        if any(b < a for a, b in zip(times, times[1:])):
+            raise ValueError("trace requests must be sorted by arrival time")
+        ids = [r.request_id for r in self.requests]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate request ids in trace")
+
+    @classmethod
+    def from_arrivals(cls, arrivals: list[tuple[float, str]]) -> "Trace":
+        """Build a trace from (arrival_ms, function) pairs (any order)."""
+        ordered = sorted(arrivals, key=lambda item: item[0])
+        return cls(
+            requests=tuple(
+                Request(request_id=i, function=fn, arrival_ms=t)
+                for i, (t, fn) in enumerate(ordered)
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __iter__(self):
+        return iter(self.requests)
+
+    @property
+    def duration_ms(self) -> float:
+        """Arrival time of the last request (0 for an empty trace)."""
+        return self.requests[-1].arrival_ms if self.requests else 0.0
+
+    def functions(self) -> tuple[str, ...]:
+        """Distinct function names, in first-arrival order."""
+        seen: dict[str, None] = {}
+        for request in self.requests:
+            seen.setdefault(request.function, None)
+        return tuple(seen)
+
+    def count_by_function(self) -> dict[str, int]:
+        """Requests per function."""
+        return dict(Counter(r.function for r in self.requests))
+
+    def window(self, start_ms: float, end_ms: float) -> "Trace":
+        """Requests with ``start_ms <= arrival < end_ms``, re-numbered."""
+        times = [r.arrival_ms for r in self.requests]
+        lo = bisect_left(times, start_ms)
+        hi = bisect_right(times, end_ms - 1e-9)
+        return Trace.from_arrivals(
+            [(r.arrival_ms - start_ms, r.function) for r in self.requests[lo:hi]]
+        )
+
+    def restrict(self, functions: set[str] | tuple[str, ...]) -> "Trace":
+        """Only the requests of the given functions, re-numbered."""
+        wanted = set(functions)
+        return Trace.from_arrivals(
+            [(r.arrival_ms, r.function) for r in self.requests if r.function in wanted]
+        )
+
+    def merged_with(self, other: "Trace") -> "Trace":
+        """Union of two traces on a shared timeline, re-numbered."""
+        arrivals = [(r.arrival_ms, r.function) for r in self.requests]
+        arrivals += [(r.arrival_ms, r.function) for r in other.requests]
+        return Trace.from_arrivals(arrivals)
+
+    def mean_rate_per_s(self, function: str | None = None) -> float:
+        """Mean arrival rate (requests/second) over the trace span."""
+        if not self.requests:
+            return 0.0
+        count = sum(1 for r in self.requests if function is None or r.function == function)
+        span_s = max(self.duration_ms, 1.0) / 1000.0
+        return count / span_s

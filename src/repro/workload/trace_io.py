@@ -1,0 +1,81 @@
+"""Trace persistence: CSV import/export.
+
+The evaluation uses synthetic traces, but the generator's output — and
+any real trace a user brings (e.g. rows derived from the Azure Functions
+dataset) — round-trips through a two-column CSV:
+
+    arrival_ms,function
+    125.0,LinAlg
+    318.5,ModelTrain
+
+Durations are milliseconds from the trace start.  Ordering in the file
+is irrelevant; loading sorts and renumbers.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import pathlib
+
+from repro.workload.trace import Trace
+
+_HEADER = ("arrival_ms", "function")
+
+
+def dump_trace(trace: Trace, path: str | pathlib.Path) -> None:
+    """Write ``trace`` to ``path`` as CSV."""
+    target = pathlib.Path(path)
+    with target.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_HEADER)
+        for request in trace:
+            writer.writerow([f"{request.arrival_ms:.3f}", request.function])
+
+
+def dumps_trace(trace: Trace) -> str:
+    """Render ``trace`` as a CSV string."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(_HEADER)
+    for request in trace:
+        writer.writerow([f"{request.arrival_ms:.3f}", request.function])
+    return buffer.getvalue()
+
+
+def _parse_rows(reader: csv.reader) -> list[tuple[float, str]]:
+    arrivals: list[tuple[float, str]] = []
+    header = next(reader, None)
+    if header is None:
+        return arrivals
+    if [column.strip().lower() for column in header] != list(_HEADER):
+        raise ValueError(
+            f"expected header {','.join(_HEADER)!r}, got {','.join(header)!r}"
+        )
+    for line_number, row in enumerate(reader, start=2):
+        if not row:
+            continue
+        if len(row) != 2:
+            raise ValueError(f"line {line_number}: expected 2 columns, got {len(row)}")
+        try:
+            arrival = float(row[0])
+        except ValueError as error:
+            raise ValueError(f"line {line_number}: bad arrival {row[0]!r}") from error
+        if arrival < 0:
+            raise ValueError(f"line {line_number}: negative arrival {arrival}")
+        function = row[1].strip()
+        if not function:
+            raise ValueError(f"line {line_number}: empty function name")
+        arrivals.append((arrival, function))
+    return arrivals
+
+
+def load_trace(path: str | pathlib.Path) -> Trace:
+    """Load a trace from a CSV file (see module docstring for format)."""
+    with pathlib.Path(path).open(newline="") as handle:
+        return Trace.from_arrivals(_parse_rows(csv.reader(handle)))
+
+
+def loads_trace(text: str) -> Trace:
+    """Load a trace from a CSV string."""
+    return Trace.from_arrivals(_parse_rows(csv.reader(io.StringIO(text))))

@@ -1,0 +1,114 @@
+"""Tests for the Section-2 study drivers and microbenchmarks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.study import (
+    cross_function_matrix,
+    measure_function_savings,
+    per_function_microbench,
+    same_function_redundancy,
+    savings_timeline,
+)
+from repro.memory.image import shared_fraction_upper_bound
+from repro.workload.azure import AzureTraceGenerator
+from repro.workload.functionbench import FunctionBenchSuite
+from tests.conftest import TEST_SCALE
+
+
+@pytest.fixture(scope="module")
+def tri_suite():
+    return FunctionBenchSuite.subset(["Vanilla", "LinAlg", "RNNModel"])
+
+
+@pytest.fixture(scope="module")
+def microbench(tri_suite):
+    return per_function_microbench(tri_suite, content_scale=TEST_SCALE, seed=2)
+
+
+class TestSameFunctionRedundancy:
+    def test_structure(self, tri_suite):
+        result = same_function_redundancy(
+            tri_suite, chunk_sizes=(64, 1024), content_scale=TEST_SCALE
+        )
+        assert set(result) == set(tri_suite.names())
+        for by_chunk in result.values():
+            assert set(by_chunk) == {64, 1024}
+            assert all(0.0 <= v <= 1.0 for v in by_chunk.values())
+
+    def test_fig1a_shape(self, tri_suite):
+        result = same_function_redundancy(
+            tri_suite, chunk_sizes=(64, 1024), content_scale=TEST_SCALE
+        )
+        for function, by_chunk in result.items():
+            assert by_chunk[64] > 0.75, function
+            assert by_chunk[1024] < by_chunk[64], function
+
+
+class TestCrossFunctionMatrix:
+    def test_fig1c_shape(self, tri_suite):
+        matrix = cross_function_matrix(tri_suite, content_scale=TEST_SCALE)
+        names = tri_suite.names()
+        for row in names:
+            for col in names:
+                assert 0.3 <= matrix[(row, col)] <= 1.0, (row, col)
+
+
+class TestMicrobench:
+    def test_savings_within_analytic_bound(self, microbench, tri_suite):
+        for profile in tri_suite:
+            bound = shared_fraction_upper_bound(profile.layout())
+            measured = microbench[profile.name].savings_fraction
+            assert 0.0 < measured <= bound + 0.02, profile.name
+
+    def test_dedup_op_durations_in_paper_band(self, microbench):
+        """Section 7.7: ~1-4 s per dedup op, growing with footprint."""
+        for result in microbench.values():
+            assert 500.0 < result.dedup_total_ms < 6_000.0
+
+    def test_restores_much_faster_than_cold(self, microbench, tri_suite):
+        for profile in tri_suite:
+            restore = microbench[profile.name].restore_total_ms
+            assert restore < 0.5 * profile.cold_start_ms
+
+    def test_bigger_functions_longer_dedup_ops(self, microbench):
+        assert (
+            microbench["RNNModel"].dedup_total_ms > microbench["Vanilla"].dedup_total_ms
+        )
+
+    def test_page_partition(self, microbench):
+        for result in microbench.values():
+            assert result.unique_pages >= 0
+            assert result.patched_pages > 0
+            assert result.zero_pages > 0
+
+    def test_savings_wrapper_consistent(self, tri_suite, microbench):
+        savings = measure_function_savings(tri_suite, content_scale=TEST_SCALE, seed=2)
+        for name, measurement in savings.items():
+            assert measurement.savings_fraction == pytest.approx(
+                microbench[name].savings_fraction
+            )
+            assert measurement.saved_mb == pytest.approx(
+                measurement.savings_fraction * measurement.memory_mb
+            )
+
+
+class TestSavingsTimeline:
+    def test_fig2_shape(self, tri_suite):
+        trace = AzureTraceGenerator(seed=9).generate(10, tri_suite.names())
+        savings = measure_function_savings(tri_suite, content_scale=TEST_SCALE, seed=2)
+        points = savings_timeline(trace, tri_suite, savings=savings)
+        assert len(points) > 5
+        for point in points:
+            assert 0.0 <= point.after_dedup_mb <= point.keep_alive_mb + 1e-9
+
+    def test_savings_material(self, tri_suite):
+        """The paper's Figure 2 shows up-to-30% achievable savings."""
+        trace = AzureTraceGenerator(seed=9).generate(10, tri_suite.names())
+        savings = measure_function_savings(tri_suite, content_scale=TEST_SCALE, seed=2)
+        points = savings_timeline(trace, tri_suite, savings=savings)
+        busy = [p for p in points if p.keep_alive_mb > 0]
+        assert busy
+        mean_ratio = sum(p.after_dedup_mb / p.keep_alive_mb for p in busy) / len(busy)
+        assert mean_ratio < 0.9

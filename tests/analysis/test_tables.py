@@ -1,0 +1,78 @@
+"""Tests for the text renderers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import (
+    cdf_points,
+    cdf_summary,
+    histogram_ascii,
+    render_cdf,
+    render_matrix,
+    render_table,
+)
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["name", "count"], [["a", 1], ["bbbb", 22]])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines}) == 1  # rectangular
+
+    def test_title(self):
+        text = render_table(["x"], [["1"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows_ok(self):
+        text = render_table(["a"], [])
+        assert "a" in text
+
+
+class TestRenderMatrix:
+    def test_square_matrix(self):
+        labels = ["x", "y"]
+        values = {(r, c): 0.5 for r in labels for c in labels}
+        text = render_matrix(labels, values)
+        assert "0.50" in text
+        assert text.count("0.50") == 4
+
+
+class TestCdfHelpers:
+    def test_cdf_points_monotone(self):
+        points = cdf_points([3.0, 1.0, 2.0])
+        values = [v for v, _ in points]
+        fractions = [f for _, f in points]
+        assert values == sorted(values)
+        assert fractions[-1] == 1.0
+
+    def test_cdf_points_downsamples(self):
+        points = cdf_points(range(10_000), points=100)
+        assert len(points) == 100
+
+    def test_cdf_points_empty(self):
+        assert cdf_points([]) == []
+
+    def test_cdf_summary(self):
+        text = cdf_summary([1.0, 2.0, 3.0])
+        assert "p50=2.00" in text
+        assert cdf_summary([]) == "(empty)"
+
+    def test_render_cdf_handles_empty(self):
+        text = render_cdf([], title="empty")
+        assert "n/a" in text
+
+    def test_render_cdf_quantiles(self):
+        text = render_cdf([1.0] * 100)
+        assert "1.000" in text
+
+
+class TestHistogram:
+    def test_ascii_histogram(self):
+        text = histogram_ascii([1, 1, 1, 5, 9], bins=2)
+        assert "#" in text
+        assert histogram_ascii([]) == "(empty)"

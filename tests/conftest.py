@@ -1,0 +1,46 @@
+"""Shared fixtures for the Medes reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro._util import MIB
+from repro.workload.functionbench import FunctionBenchSuite
+
+# Keep property tests fast and robust under CI load.
+settings.register_profile(
+    "repro",
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+#: Tiny content scale used by tests that touch real bytes.
+TEST_SCALE = 1.0 / 256.0
+
+
+@pytest.fixture(scope="session")
+def suite() -> FunctionBenchSuite:
+    return FunctionBenchSuite.default()
+
+
+@pytest.fixture(scope="session")
+def small_suite() -> FunctionBenchSuite:
+    return FunctionBenchSuite.subset(["Vanilla", "LinAlg", "RNNModel"])
+
+
+@pytest.fixture(scope="session")
+def linalg_profile(suite):
+    return suite.get("LinAlg")
+
+
+@pytest.fixture(scope="session")
+def linalg_image(linalg_profile):
+    return linalg_profile.synthesize(1, content_scale=TEST_SCALE)
+
+
+@pytest.fixture(scope="session")
+def linalg_image_executed(linalg_profile):
+    return linalg_profile.synthesize(1, content_scale=TEST_SCALE, executed=True)

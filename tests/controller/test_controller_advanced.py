@@ -1,0 +1,148 @@
+"""Advanced controller behaviours: dedup abort, starvation, per-function policy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.policy import MedesPolicyConfig
+from repro.platform.config import ClusterConfig
+from repro.platform.metrics import StartType
+from repro.platform.platform import PlatformKind, build_platform
+from repro.sandbox.state import SandboxState
+from repro.workload.functionbench import FunctionBenchSuite
+from repro.workload.trace import Trace
+
+SCALE = 1.0 / 256.0
+
+
+def config(**overrides) -> ClusterConfig:
+    base = dict(
+        nodes=1,
+        node_memory_mb=512.0,
+        content_scale=SCALE,
+        seed=9,
+        verify_restores=True,
+    )
+    base.update(overrides)
+    return ClusterConfig(**base)
+
+
+def medes(**overrides) -> MedesPolicyConfig:
+    base = dict(idle_period_ms=5_000.0, alpha=25.0)
+    base.update(overrides)
+    return MedesPolicyConfig(**base)
+
+
+@pytest.fixture(scope="module")
+def pair_suite():
+    return FunctionBenchSuite.subset(["Vanilla", "LinAlg"])
+
+
+class TestDedupAbort:
+    def _abort_trace(self) -> Trace:
+        # Two sandboxes; the second one's dedup op (starting ~6-7 s after
+        # idle) is interrupted by a burst of requests needing both.
+        # Timing: both sandboxes go idle ~0.7-1.7 s in; idle expiry at
+        # ~5.7/6.7 s turns one into a base and starts the other's dedup
+        # op (~1.3 s at 5.7-7.0 s), so t=6.5 s lands mid-DEDUPING.
+        return Trace.from_arrivals(
+            [
+                (0.0, "Vanilla"),
+                (1.0, "Vanilla"),
+                (6_500.0, "Vanilla"),
+                (6_501.0, "Vanilla"),
+            ]
+        )
+
+    def test_request_aborts_in_flight_dedup(self, pair_suite):
+        platform = build_platform(
+            PlatformKind.MEDES, config(), pair_suite, medes=medes()
+        )
+        report = platform.run(self._abort_trace())
+        # With abort enabled, the burst at t=6.5 s is served without any
+        # extra cold start even though a dedup op was in flight.
+        assert report.metrics.cold_starts() == 2
+        late = [r for r in report.metrics.requests.values() if r.arrival_ms >= 6_000.0]
+        assert all(r.start_type is StartType.WARM for r in late)
+
+    def test_without_abort_burst_pays_cold_start(self, pair_suite):
+        platform = build_platform(
+            PlatformKind.MEDES,
+            config(enable_dedup_abort=False),
+            pair_suite,
+            medes=medes(),
+        )
+        report = platform.run(self._abort_trace())
+        # The DEDUPING sandbox is unavailable: one extra cold start.
+        assert report.metrics.cold_starts() == 3
+
+    def test_abort_rolls_back_refcounts(self, pair_suite):
+        platform = build_platform(
+            PlatformKind.MEDES, config(), pair_suite, medes=medes()
+        )
+        platform.run(self._abort_trace())
+        expected: dict[int, int] = {}
+        for node in platform.nodes:
+            for sandbox in node.sandboxes.values():
+                if sandbox.dedup_table is not None:
+                    for cid, count in sandbox.dedup_table.base_refs.items():
+                        expected[cid] = expected.get(cid, 0) + count
+        for checkpoint in platform.store:
+            assert checkpoint.refcount == expected.get(checkpoint.checkpoint_id, 0)
+
+
+class TestStarvationPath:
+    def test_starving_request_evicts_unpinned_base(self):
+        """A request that cannot fit otherwise evicts an idle base."""
+        suite = FunctionBenchSuite.subset(["RNNModel", "ModelTrain"])
+        # Node fits a single large sandbox; the RNNModel sandbox becomes
+        # a base (first dedup attempt, empty registry) and then blocks
+        # the ModelTrain spawn until the starvation path fires.
+        cluster = config(node_memory_mb=150.0)
+        trace = Trace.from_arrivals([(0.0, "RNNModel"), (20_000.0, "ModelTrain")])
+        platform = build_platform(PlatformKind.MEDES, cluster, suite, medes=medes())
+        report = platform.run(trace)
+        records = report.metrics.requests
+        assert records[1].completion_ms is not None
+        # It waited for the starvation window, not for a keep-alive.
+        assert records[1].queued_ms < 60_000.0
+
+    def test_pinned_base_survives_starvation(self, pair_suite):
+        """A base checkpoint with live dedup references is never evicted."""
+        cluster = config(node_memory_mb=80.0)
+        trace = Trace.from_arrivals(
+            [
+                (0.0, "Vanilla"),
+                (1.0, "Vanilla"),
+                (40_000.0, "LinAlg"),  # needs eviction
+                (80_000.0, "Vanilla"),
+            ]
+        )
+        platform = build_platform(PlatformKind.MEDES, cluster, pair_suite, medes=medes())
+        platform.run(trace)
+        for checkpoint in platform.store:
+            if checkpoint.pinned:
+                # Every pinned checkpoint must still be resident somewhere.
+                node = platform.nodes[checkpoint.node_id]
+                assert checkpoint.checkpoint_id in node.checkpoints
+
+
+class TestPerFunctionPolicy:
+    def test_critical_function_not_deduplicated(self):
+        """Section 5.3: a tight per-function alpha keeps it warm while
+        best-effort functions deduplicate."""
+        suite = FunctionBenchSuite.subset(["Vanilla", "LinAlg"])
+        policy = medes(alpha=25.0, per_function_alpha={"Vanilla": 1.01})
+        trace = Trace.from_arrivals(
+            [(0.0, "Vanilla"), (1.0, "Vanilla"), (2.0, "LinAlg"), (3.0, "LinAlg"),
+             (4.0, "Vanilla"), (5.0, "LinAlg")]
+        )
+        platform = build_platform(PlatformKind.MEDES, config(), suite, medes=policy)
+        platform.sim.run_until(0)  # no-op; run below
+        report = platform.run(trace)
+        dedup_functions = {op.function for op in report.metrics.dedup_ops}
+        assert "Vanilla" not in dedup_functions
+
+    def test_alpha_for_validation(self):
+        with pytest.raises(ValueError, match="must be >= 1"):
+            MedesPolicyConfig(per_function_alpha={"X": 0.5})

@@ -1,0 +1,220 @@
+"""Tests for the dedup agent: the dedup op and the restore op."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.agent import DedupAgent, PageKind
+from repro.core.costs import CostModel
+from repro.core.registry import FingerprintRegistry, PageRef
+from repro.memory.fingerprint import FingerprintConfig, page_fingerprint
+from repro.sandbox.checkpoint import BaseCheckpoint, CheckpointStore
+from repro.sandbox.sandbox import Sandbox
+from repro.sim.network import RdmaFabric
+from tests.conftest import TEST_SCALE
+
+
+@pytest.fixture
+def harness(linalg_profile):
+    """A node-0 agent with a LinAlg base checkpoint on node 1."""
+    store = CheckpointStore()
+    registry = FingerprintRegistry()
+    agent = DedupAgent(
+        0,
+        registry=registry,
+        store=store,
+        fabric=RdmaFabric(),
+        costs=CostModel(),
+        content_scale=TEST_SCALE,
+    )
+    base_image = linalg_profile.synthesize(100, content_scale=TEST_SCALE, executed=True)
+    checkpoint = BaseCheckpoint(
+        function="LinAlg",
+        node_id=1,
+        image=base_image,
+        owner_sandbox_id=1,
+        full_size_bytes=linalg_profile.memory_bytes,
+    )
+    store.add(checkpoint)
+    for index in range(base_image.num_pages):
+        registry.register_page(
+            PageRef(checkpoint.checkpoint_id, 1, index),
+            page_fingerprint(base_image.page(index)),
+        )
+    return agent, store, registry, checkpoint
+
+
+def make_sandbox(profile, seed=200) -> Sandbox:
+    sandbox = Sandbox(profile=profile, node_id=0, instance_seed=seed, created_at=0.0)
+    sandbox.image = profile.synthesize(seed, content_scale=TEST_SCALE, executed=True)
+    return sandbox
+
+
+class TestDedupOp:
+    def test_round_trip_byte_exact(self, harness, linalg_profile):
+        agent, *_ = harness
+        sandbox = make_sandbox(linalg_profile)
+        original_checksum = sandbox.image.checksum()
+        outcome = agent.dedup(sandbox)
+        restored = agent.restore(outcome.table, verify=True)
+        assert restored.image.checksum() == original_checksum
+
+    def test_savings_positive_and_bounded(self, harness, linalg_profile):
+        agent, *_ = harness
+        outcome = agent.dedup(make_sandbox(linalg_profile))
+        fraction = outcome.table.stats.savings_fraction
+        assert 0.1 < fraction < 1.0
+        assert outcome.table.retained_full_bytes < linalg_profile.memory_bytes
+
+    def test_page_classification_counts(self, harness, linalg_profile):
+        agent, *_ = harness
+        outcome = agent.dedup(make_sandbox(linalg_profile))
+        stats = outcome.table.stats
+        assert (
+            stats.zero_pages + stats.unique_pages + stats.patched_pages
+            == stats.total_pages
+        )
+        assert stats.zero_pages > 0  # the zero region dedups away
+        assert stats.unique_pages > 0  # dirty pages defeat dedup
+        assert stats.patched_pages > 0
+
+    def test_refcounts_acquired(self, harness, linalg_profile):
+        agent, _store, _registry, checkpoint = harness
+        outcome = agent.dedup(make_sandbox(linalg_profile))
+        expected = outcome.table.base_refs[checkpoint.checkpoint_id]
+        assert expected > 0
+        assert checkpoint.refcount == expected
+
+    def test_same_function_attribution(self, harness, linalg_profile):
+        agent, *_ = harness
+        outcome = agent.dedup(make_sandbox(linalg_profile))
+        stats = outcome.table.stats
+        # Only LinAlg bases exist, so every patched page is same-function.
+        assert stats.same_function_pages == stats.patched_pages
+        assert stats.cross_function_pages == 0
+
+    def test_empty_registry_all_unique_or_zero(self, linalg_profile):
+        agent = DedupAgent(
+            0,
+            registry=FingerprintRegistry(),
+            store=CheckpointStore(),
+            fabric=RdmaFabric(),
+            costs=CostModel(),
+            content_scale=TEST_SCALE,
+        )
+        outcome = agent.dedup(make_sandbox(linalg_profile))
+        stats = outcome.table.stats
+        assert stats.patched_pages == 0
+        assert stats.unique_pages + stats.zero_pages == stats.total_pages
+        # Round trip still works with no bases at all.
+        restored = agent.restore(outcome.table, verify=True)
+        assert restored.image.checksum() == outcome.table.original_checksum
+
+    def test_dedup_requires_image(self, harness, linalg_profile):
+        agent, *_ = harness
+        sandbox = Sandbox(
+            profile=linalg_profile, node_id=0, instance_seed=1, created_at=0.0
+        )
+        with pytest.raises(RuntimeError, match="no image"):
+            agent.dedup(sandbox)
+
+    def test_timings_positive_and_ordered(self, harness, linalg_profile):
+        agent, *_ = harness
+        outcome = agent.dedup(make_sandbox(linalg_profile))
+        timings = outcome.timings
+        assert timings.checkpoint_ms > 0
+        assert timings.lookup_ms > 0
+        assert timings.total_ms >= timings.checkpoint_ms + timings.lookup_ms
+
+    def test_full_scale_extrapolation(self, linalg_profile, harness):
+        """Timing reflects full-size sandboxes regardless of content scale."""
+        agent, *_ = harness
+        outcome = agent.dedup(make_sandbox(linalg_profile))
+        full_pages = linalg_profile.memory_bytes / 4096
+        expected_lookup = full_pages * agent.costs.lookup_us_per_page / 1e3
+        assert outcome.timings.lookup_ms == pytest.approx(expected_lookup, rel=0.1)
+
+
+class TestRestoreOp:
+    def test_restore_timings_breakdown(self, harness, linalg_profile):
+        agent, *_ = harness
+        outcome = agent.dedup(make_sandbox(linalg_profile))
+        restore = agent.restore(outcome.table, verify=True)
+        timings = restore.timings
+        assert timings.base_read_ms > 0  # base pages are remote (node 1)
+        assert timings.compute_ms > 0
+        assert timings.restore_ms == agent.costs.restore_fixed_ms
+        assert timings.total_ms < linalg_profile.cold_start_ms
+
+    def test_corruption_detected(self, harness, linalg_profile):
+        agent, *_ = harness
+        outcome = agent.dedup(make_sandbox(linalg_profile))
+        tampered = outcome.table
+        tampered.original_checksum = "0" * 40
+        with pytest.raises(RuntimeError, match="corrupted"):
+            agent.restore(tampered, verify=True)
+
+    def test_restore_does_not_release_refs(self, harness, linalg_profile):
+        agent, _store, _registry, checkpoint = harness
+        outcome = agent.dedup(make_sandbox(linalg_profile))
+        before = checkpoint.refcount
+        agent.restore(outcome.table, verify=False)
+        assert checkpoint.refcount == before
+
+    def test_op_counters(self, harness, linalg_profile):
+        agent, *_ = harness
+        outcome = agent.dedup(make_sandbox(linalg_profile))
+        agent.restore(outcome.table)
+        assert agent.dedup_ops == 1
+        assert agent.restore_ops == 1
+
+
+class TestCrossFunctionDedup:
+    def test_pages_dedup_against_other_functions(self, suite):
+        """With only a Vanilla base, LinAlg pages still find base pages
+        (shared runtime + pool content) — the paper's Section 7.3.1."""
+        store = CheckpointStore()
+        registry = FingerprintRegistry()
+        agent = DedupAgent(
+            0,
+            registry=registry,
+            store=store,
+            fabric=RdmaFabric(),
+            costs=CostModel(),
+            content_scale=TEST_SCALE,
+        )
+        vanilla = suite.get("Vanilla")
+        base_image = vanilla.synthesize(300, content_scale=TEST_SCALE, executed=True)
+        checkpoint = BaseCheckpoint(
+            function="Vanilla",
+            node_id=1,
+            image=base_image,
+            owner_sandbox_id=1,
+            full_size_bytes=vanilla.memory_bytes,
+        )
+        store.add(checkpoint)
+        for index in range(base_image.num_pages):
+            registry.register_page(
+                PageRef(checkpoint.checkpoint_id, 1, index),
+                page_fingerprint(base_image.page(index)),
+            )
+        linalg = suite.get("LinAlg")
+        outcome = agent.dedup(make_sandbox(linalg, seed=301))
+        stats = outcome.table.stats
+        assert stats.cross_function_pages > 0
+        assert stats.same_function_pages == 0
+        restored = agent.restore(outcome.table, verify=True)
+        assert restored.image.checksum() == outcome.table.original_checksum
+
+
+class TestPageEntry:
+    def test_retained_bytes_by_kind(self, harness, linalg_profile):
+        agent, *_ = harness
+        outcome = agent.dedup(make_sandbox(linalg_profile))
+        for entry in outcome.table.entries:
+            if entry.kind is PageKind.ZERO:
+                assert entry.retained_bytes() == 0
+            elif entry.kind is PageKind.UNIQUE:
+                assert entry.retained_bytes() == 4096
+            else:
+                assert 0 < entry.retained_bytes() < 4096 * 0.75

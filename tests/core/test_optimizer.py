@@ -1,0 +1,229 @@
+"""Tests for the Section-5.2 optimization problem.
+
+The strongest check here compares the closed-form solver against brute
+force over every integer split (W, D), for both objectives, on
+randomized instances.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.optimizer import (
+    FunctionModel,
+    Objective,
+    max_dedup_for_latency,
+    max_dedup_for_rate,
+    mean_startup_ms,
+    memory_usage,
+    min_dedup_for_memory,
+    solve,
+)
+
+
+def model(**overrides) -> FunctionModel:
+    base = dict(
+        lambda_max=0.01,  # 10 req/s
+        warm_start_ms=10.0,
+        dedup_start_ms=150.0,
+        exec_ms=250.0,
+        warm_bytes=32 << 20,
+        dedup_bytes=16 << 20,
+        restore_overhead_bytes=2 << 20,
+    )
+    base.update(overrides)
+    return FunctionModel(**base)
+
+
+model_strategy = st.builds(
+    model,
+    lambda_max=st.floats(min_value=0.0, max_value=0.2),
+    warm_start_ms=st.floats(min_value=1.0, max_value=50.0),
+    dedup_start_ms=st.floats(min_value=50.0, max_value=800.0),
+    exec_ms=st.floats(min_value=50.0, max_value=5000.0),
+    warm_bytes=st.integers(min_value=1 << 20, max_value=256 << 20),
+    dedup_bytes=st.integers(min_value=0, max_value=64 << 20),
+    restore_overhead_bytes=st.integers(min_value=0, max_value=8 << 20),
+)
+
+
+class TestFormulas:
+    def test_reuse_periods(self):
+        m = model()
+        assert m.reuse_warm_ms == 260.0
+        assert m.reuse_dedup_ms == 400.0
+
+    def test_memory_usage_equation_3(self):
+        m = model()
+        assert memory_usage(m, 2, 3) == 2 * m.warm_bytes + 3 * (
+            m.dedup_bytes + m.restore_overhead_bytes
+        )
+
+    def test_mean_startup_all_warm(self):
+        m = model()
+        assert mean_startup_ms(m, 5, 0) == pytest.approx(m.warm_start_ms)
+
+    def test_mean_startup_all_dedup(self):
+        m = model()
+        assert mean_startup_ms(m, 0, 5) == pytest.approx(m.dedup_start_ms)
+
+    def test_mean_startup_between_extremes(self):
+        m = model()
+        mixed = mean_startup_ms(m, 3, 3)
+        assert m.warm_start_ms < mixed < m.dedup_start_ms
+
+    def test_mean_startup_monotone_in_dedup(self):
+        m = model()
+        values = [mean_startup_ms(m, 10 - d, d) for d in range(11)]
+        assert values == sorted(values)
+
+
+class TestRateBound:
+    def test_all_warm_insufficient_returns_negative(self):
+        m = model(lambda_max=1.0)  # absurd rate
+        assert max_dedup_for_rate(m, 5) == -1.0
+
+    def test_all_dedup_sufficient_returns_total(self):
+        m = model(lambda_max=0.001)
+        assert max_dedup_for_rate(m, 5) == 5.0
+
+    def test_partial_bound_satisfies_constraint(self):
+        m = model(lambda_max=0.018)
+        total = 5
+        bound = max_dedup_for_rate(m, total)
+        assert 0 <= bound < total
+        warm = total - bound
+        capacity = warm / m.reuse_warm_ms + bound / m.reuse_dedup_ms
+        assert capacity == pytest.approx(m.lambda_max)
+
+
+class TestLatencyBound:
+    def test_loose_alpha_allows_all(self):
+        m = model(dedup_start_ms=20.0)
+        assert max_dedup_for_latency(m, 10, alpha=3.0) == 10.0
+
+    def test_tight_alpha_restricts(self):
+        m = model()
+        bound = max_dedup_for_latency(m, 10, alpha=1.5)
+        assert 0 <= bound < 10
+        # At the bound the mean startup meets the target exactly.
+        warm = 10 - bound
+        assert mean_startup_ms(m, warm, bound) <= 1.5 * m.warm_start_ms + 1e-6
+
+    def test_alpha_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            max_dedup_for_latency(model(), 10, alpha=0.5)
+
+
+class TestMemoryBound:
+    def test_generous_budget_needs_no_dedup(self):
+        m = model()
+        assert min_dedup_for_memory(m, 4, budget_bytes=1 << 40) == 0.0
+
+    def test_impossible_budget_is_inf(self):
+        m = model()
+        assert math.isinf(min_dedup_for_memory(m, 4, budget_bytes=1))
+
+    def test_partial_budget(self):
+        m = model()
+        budget = memory_usage(m, 2, 2)
+        needed = min_dedup_for_memory(m, 4, budget_bytes=budget)
+        assert needed == pytest.approx(2.0)
+
+
+def brute_force(m: FunctionModel, total: int, objective: Objective, alpha, budget):
+    """Exhaustive reference solution over integer splits."""
+    best = None
+    for dedup in range(total + 1):
+        warm = total - dedup
+        rate = warm / m.reuse_warm_ms + dedup / m.reuse_dedup_ms
+        if rate < m.lambda_max - 1e-12:
+            continue
+        startup = mean_startup_ms(m, warm, dedup)
+        mem = memory_usage(m, warm, dedup)
+        if objective is Objective.LATENCY:
+            if startup > alpha * m.warm_start_ms + 1e-9:
+                continue
+            key = (mem, startup)
+        else:
+            if mem > budget + 1e-9:
+                continue
+            key = (startup, mem)
+        if best is None or key < best[0]:
+            best = (key, warm, dedup)
+    return best
+
+
+class TestSolverAgainstBruteForce:
+    @given(model_strategy, st.integers(min_value=0, max_value=12))
+    def test_latency_objective_matches(self, m, total):
+        solution = solve(m, total, Objective.LATENCY, alpha=2.5)
+        reference = brute_force(m, total, Objective.LATENCY, 2.5, None)
+        if reference is None:
+            assert not solution.feasible
+            return
+        assert solution.feasible
+        (best_mem, _), best_warm, best_dedup = reference
+        # The solver must achieve the optimal objective value (memory);
+        # tie-breaking among equal-memory splits is unspecified.
+        assert memory_usage(m, solution.warm, solution.dedup) == pytest.approx(best_mem)
+        assert mean_startup_ms(m, solution.warm, solution.dedup) <= (
+            2.5 * m.warm_start_ms + 1e-6
+        )
+
+    @given(
+        model_strategy,
+        st.integers(min_value=0, max_value=12),
+        st.floats(min_value=0.05, max_value=1.5),
+    )
+    def test_memory_objective_matches(self, m, total, budget_scale):
+        budget = budget_scale * memory_usage(m, total, 0)
+        solution = solve(m, total, Objective.MEMORY, budget_bytes=budget)
+        reference = brute_force(m, total, Objective.MEMORY, None, budget)
+        if reference is None:
+            assert not solution.feasible
+            return
+        assert solution.feasible
+        (best_startup, _), best_warm, best_dedup = reference
+        # Optimal objective value (startup latency) within the budget;
+        # equal-latency ties may break either way.
+        assert mean_startup_ms(m, solution.warm, solution.dedup) == pytest.approx(
+            best_startup
+        )
+        assert memory_usage(m, solution.warm, solution.dedup) <= budget + 1e-6
+
+
+class TestSolverEdges:
+    def test_zero_sandboxes(self):
+        solution = solve(model(), 0, Objective.LATENCY)
+        assert solution.warm == solution.dedup == 0
+        assert not solution.feasible  # open demand, nothing to serve it
+
+    def test_zero_sandboxes_zero_demand_feasible(self):
+        solution = solve(model(lambda_max=0.0), 0, Objective.LATENCY)
+        assert solution.feasible
+
+    def test_infeasible_rate_goes_aggressive(self):
+        solution = solve(model(lambda_max=10.0), 5, Objective.LATENCY)
+        assert not solution.feasible
+        assert solution.dedup == 5  # aggressive deduplication fallback
+
+    def test_memory_requires_budget(self):
+        with pytest.raises(ValueError, match="budget"):
+            solve(model(), 5, Objective.MEMORY)
+
+    def test_negative_total_rejected(self):
+        with pytest.raises(ValueError):
+            solve(model(), -1, Objective.LATENCY)
+
+    def test_solution_invariants(self):
+        solution = solve(model(), 8, Objective.LATENCY, alpha=2.0)
+        assert solution.total == 8
+        assert solution.warm >= 0 and solution.dedup >= 0
+        assert solution.memory_bytes == memory_usage(
+            model(), solution.warm, solution.dedup
+        )

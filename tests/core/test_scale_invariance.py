@@ -1,0 +1,89 @@
+"""Content-scale invariance: reported figures describe full-size sandboxes.
+
+The same sandbox synthesized at different ``content_scale`` values must
+report (approximately) the same full-scale timings, savings fractions
+and retained footprints — the property that lets the reproduction run
+on small images while reporting testbed-scale numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.agent import DedupAgent
+from repro.core.costs import CostModel
+from repro.core.registry import FingerprintRegistry, PageRef
+from repro.memory.fingerprint import page_fingerprint
+from repro.sandbox.checkpoint import BaseCheckpoint, CheckpointStore
+from repro.sandbox.sandbox import Sandbox
+from repro.sim.network import RdmaFabric
+
+
+def measure_at_scale(profile, scale: float):
+    store = CheckpointStore()
+    registry = FingerprintRegistry()
+    agent = DedupAgent(
+        0,
+        registry=registry,
+        store=store,
+        fabric=RdmaFabric(),
+        costs=CostModel(),
+        content_scale=scale,
+    )
+    base_image = profile.synthesize(800, content_scale=scale, executed=True)
+    checkpoint = BaseCheckpoint(
+        function=profile.name,
+        node_id=1,
+        image=base_image,
+        owner_sandbox_id=1,
+        full_size_bytes=profile.memory_bytes,
+    )
+    store.add(checkpoint)
+    for index in range(base_image.num_pages):
+        registry.register_page(
+            PageRef(checkpoint.checkpoint_id, 1, index),
+            page_fingerprint(base_image.page(index)),
+        )
+    sandbox = Sandbox(profile=profile, node_id=0, instance_seed=801, created_at=0.0)
+    sandbox.image = profile.synthesize(801, content_scale=scale, executed=True)
+    outcome = agent.dedup(sandbox)
+    restore = agent.restore(outcome.table, verify=True)
+    return outcome, restore
+
+
+class TestScaleInvariance:
+    @pytest.fixture(scope="class")
+    def two_scales(self, linalg_profile):
+        coarse = measure_at_scale(linalg_profile, 1.0 / 256.0)
+        fine = measure_at_scale(linalg_profile, 1.0 / 64.0)
+        return coarse, fine
+
+    def test_lookup_time_scale_invariant(self, two_scales):
+        (coarse, _), (fine, _) = two_scales
+        assert coarse.timings.lookup_ms == pytest.approx(
+            fine.timings.lookup_ms, rel=0.05
+        )
+
+    def test_checkpoint_time_scale_invariant(self, two_scales):
+        (coarse, _), (fine, _) = two_scales
+        assert coarse.timings.checkpoint_ms == pytest.approx(
+            fine.timings.checkpoint_ms, rel=0.05
+        )
+
+    def test_savings_fraction_consistent(self, two_scales):
+        (coarse, _), (fine, _) = two_scales
+        assert coarse.table.stats.savings_fraction == pytest.approx(
+            fine.table.stats.savings_fraction, abs=0.12
+        )
+
+    def test_retained_full_bytes_consistent(self, two_scales):
+        (coarse, _), (fine, _) = two_scales
+        assert coarse.table.retained_full_bytes == pytest.approx(
+            fine.table.retained_full_bytes, rel=0.25
+        )
+
+    def test_restore_time_consistent(self, two_scales):
+        (_, coarse_restore), (_, fine_restore) = two_scales
+        assert coarse_restore.timings.total_ms == pytest.approx(
+            fine_restore.timings.total_ms, rel=0.35
+        )

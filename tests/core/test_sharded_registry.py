@@ -1,0 +1,116 @@
+"""Tests for the sharded fingerprint registry (Section 4.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.registry import (
+    FingerprintRegistry,
+    PageRef,
+    ShardedFingerprintRegistry,
+)
+from repro.memory.fingerprint import PageFingerprint
+
+
+def fp(*digests: int) -> PageFingerprint:
+    return PageFingerprint(digests=tuple(digests), offsets=tuple(range(len(digests))))
+
+
+def ref(checkpoint=1, node=0, page=0) -> PageRef:
+    return PageRef(checkpoint_id=checkpoint, node_id=node, page_index=page)
+
+
+class TestApiEquivalence:
+    """Sharding must not change any lookup outcome."""
+
+    def _populated(self, registry):
+        registry.register_page(ref(checkpoint=1, page=0), fp(1, 2, 3, 4, 5))
+        registry.register_page(ref(checkpoint=1, page=1), fp(4, 5, 6, 7, 8))
+        registry.register_page(ref(checkpoint=2, node=3, page=0), fp(2, 3, 9, 10, 11))
+        return registry
+
+    @pytest.mark.parametrize("n_shards", [1, 2, 3, 7])
+    def test_choose_base_page_matches_single(self, n_shards):
+        single = self._populated(FingerprintRegistry())
+        sharded = self._populated(ShardedFingerprintRegistry(n_shards))
+        for query in (fp(1, 2, 3), fp(4, 5), fp(9, 10, 11, 12), fp(99)):
+            assert sharded.choose_base_page(query, 0) == single.choose_base_page(query, 0)
+            assert sharded.lookup(query) == single.lookup(query)
+
+    @pytest.mark.parametrize("n_shards", [2, 5])
+    def test_deregister_matches_single(self, n_shards):
+        single = self._populated(FingerprintRegistry())
+        sharded = self._populated(ShardedFingerprintRegistry(n_shards))
+        assert sharded.deregister_checkpoint(1) == single.deregister_checkpoint(1)
+        query = fp(1, 2, 3, 4, 5)
+        assert sharded.lookup(query) == single.lookup(query)
+
+    def test_digest_count_matches(self):
+        single = self._populated(FingerprintRegistry())
+        sharded = self._populated(ShardedFingerprintRegistry(4))
+        assert sharded.digest_count == single.digest_count
+
+
+class TestShardingProperties:
+    def test_digests_partitioned(self):
+        sharded = ShardedFingerprintRegistry(4)
+        sharded.register_page(ref(), fp(0, 1, 2, 3, 4, 5, 6, 7))
+        for shard_index, shard in enumerate(sharded.shards):
+            for digest in shard._buckets:
+                assert digest % 4 == shard_index
+
+    def test_load_roughly_balanced(self):
+        from repro._util import stable_seed
+
+        sharded = ShardedFingerprintRegistry(4)
+        for page in range(50):
+            digests = tuple(stable_seed("digest", page, i) for i in range(5))
+            sharded.register_page(ref(page=page), fp(*digests))
+        assert sharded.load_imbalance() < 1.5
+
+    def test_replication_multiplies_memory(self):
+        plain = ShardedFingerprintRegistry(2, replication=1)
+        replicated = ShardedFingerprintRegistry(2, replication=3)
+        for registry in (plain, replicated):
+            registry.register_page(ref(), fp(1, 2, 3))
+        assert replicated.memory_bytes() == 3 * plain.memory_bytes()
+
+    def test_stats_aggregate(self):
+        sharded = ShardedFingerprintRegistry(3)
+        sharded.register_page(ref(), fp(1, 2, 3))
+        sharded.lookup(fp(1, 2))
+        stats = sharded.stats
+        assert stats.digests_registered == 3
+        assert stats.digest_lookups == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShardedFingerprintRegistry(0)
+        with pytest.raises(ValueError):
+            ShardedFingerprintRegistry(2, replication=0)
+
+    def test_empty_imbalance_is_one(self):
+        assert ShardedFingerprintRegistry(4).load_imbalance() == 1.0
+
+
+class TestPlatformIntegration:
+    def test_sharded_platform_run_matches_shapes(self, small_suite):
+        """A sharded-controller Medes run completes and dedups."""
+        from repro.platform.config import ClusterConfig
+        from repro.platform.platform import PlatformKind, build_platform
+        from repro.workload.trace import Trace
+
+        config = ClusterConfig(
+            nodes=2,
+            node_memory_mb=512.0,
+            content_scale=1.0 / 256.0,
+            registry_shards=4,
+            verify_restores=True,
+        )
+        trace = Trace.from_arrivals(
+            [(0.0, "Vanilla"), (1.0, "Vanilla"), (120_000.0, "Vanilla")]
+        )
+        platform = build_platform(PlatformKind.MEDES, config, small_suite)
+        report = platform.run(trace)
+        assert all(r.completion_ms is not None for r in report.metrics.requests.values())
+        assert isinstance(platform.registry, ShardedFingerprintRegistry)

@@ -1,0 +1,97 @@
+"""Tests for chunk hashing and value-sampling primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.memory.chunks import (
+    enforce_spacing,
+    fixed_offset_digests,
+    hash_chunk,
+    marker_positions,
+    rolling_last2,
+)
+
+
+class TestFixedOffsetDigests:
+    def test_offsets_follow_stride(self):
+        data = np.arange(1024, dtype=np.uint8)
+        digests = fixed_offset_digests(data, chunk_size=64, stride=128)
+        assert [off for off, _ in digests] == list(range(0, 1024 - 64 + 1, 128))
+
+    def test_digest_matches_hash_chunk(self):
+        data = np.arange(256, dtype=np.uint8)
+        digests = fixed_offset_digests(data, chunk_size=64, stride=128)
+        off, digest = digests[1]
+        assert digest == hash_chunk(data[off : off + 64].tobytes())
+
+    def test_short_input_yields_nothing(self):
+        data = np.zeros(16, dtype=np.uint8)
+        assert fixed_offset_digests(data, chunk_size=64, stride=128) == []
+
+    def test_rejects_bad_parameters(self):
+        data = np.zeros(256, dtype=np.uint8)
+        with pytest.raises(ValueError):
+            fixed_offset_digests(data, chunk_size=0, stride=128)
+        with pytest.raises(ValueError):
+            fixed_offset_digests(data, chunk_size=64, stride=0)
+
+
+class TestRollingLast2:
+    def test_values(self):
+        data = np.array([0x12, 0x34, 0x56], dtype=np.uint8)
+        values = rolling_last2(data)
+        assert values[0] == 0
+        assert values[1] == 0x1234
+        assert values[2] == 0x3456
+
+    def test_rejects_wrong_dtype(self):
+        with pytest.raises(ValueError):
+            rolling_last2(np.zeros(4, dtype=np.int32))
+
+    @given(st.binary(min_size=2, max_size=200))
+    def test_matches_naive(self, raw):
+        data = np.frombuffer(raw, dtype=np.uint8)
+        values = rolling_last2(data)
+        for i in range(1, len(data)):
+            assert values[i] == (int(data[i - 1]) << 8) | int(data[i])
+
+
+class TestMarkerPositions:
+    def test_finds_marker(self):
+        data = np.zeros(128, dtype=np.uint8)
+        data[63] = 0x77  # last byte of a window at position 63
+        hits = marker_positions(data, mask=0x00FF, value=0x0077, min_position=63)
+        assert 63 in hits
+
+    def test_respects_min_position(self):
+        data = np.zeros(128, dtype=np.uint8)
+        data[10] = 0x77
+        hits = marker_positions(data, mask=0x00FF, value=0x0077, min_position=63)
+        assert 10 not in hits
+
+
+class TestEnforceSpacing:
+    def test_empty(self):
+        result = enforce_spacing(np.array([], dtype=np.int64), 64)
+        assert result.size == 0
+
+    def test_greedy_thinning(self):
+        positions = np.array([0, 10, 64, 70, 128], dtype=np.int64)
+        kept = enforce_spacing(positions, 64)
+        assert list(kept) == [0, 64, 128]
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=100),
+        st.integers(min_value=1, max_value=512),
+    )
+    def test_spacing_invariant(self, raw_positions, spacing):
+        positions = np.asarray(sorted(raw_positions), dtype=np.int64)
+        kept = enforce_spacing(positions, spacing)
+        gaps = np.diff(kept)
+        assert (gaps >= spacing).all()
+        # First element always kept.
+        assert kept[0] == positions[0]

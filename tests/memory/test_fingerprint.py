@@ -1,0 +1,115 @@
+"""Tests for value-sampled page fingerprints."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro._util import rng_for
+from repro.memory.fingerprint import (
+    DEFAULT_CARDINALITY,
+    FingerprintConfig,
+    PageFingerprint,
+    image_fingerprints,
+    page_fingerprint,
+    sample_chunk_offsets,
+)
+
+
+@pytest.fixture(scope="module")
+def random_page():
+    return rng_for("fp-test-page").integers(0, 256, size=4096, dtype=np.uint8)
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = FingerprintConfig()
+        assert config.chunk_size == 64
+        assert config.cardinality == DEFAULT_CARDINALITY
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"chunk_size": 2},
+            {"cardinality": 0},
+            {"digest_bits": 0},
+            {"digest_bits": 200},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            FingerprintConfig(**kwargs)
+
+
+class TestSampling:
+    def test_deterministic(self, random_page):
+        config = FingerprintConfig()
+        a = sample_chunk_offsets(random_page, config)
+        b = sample_chunk_offsets(random_page, config)
+        assert list(a) == list(b)
+
+    def test_cardinality_cap(self, random_page):
+        config = FingerprintConfig(cardinality=3)
+        offsets = sample_chunk_offsets(random_page, config)
+        assert len(offsets) <= 3
+
+    def test_chunks_fit_in_page(self, random_page):
+        config = FingerprintConfig()
+        for start in sample_chunk_offsets(random_page, config):
+            assert 0 <= start <= len(random_page) - config.chunk_size
+
+    def test_chunks_non_overlapping(self, random_page):
+        config = FingerprintConfig(cardinality=16)
+        offsets = sorted(sample_chunk_offsets(random_page, config))
+        assert all(b - a >= config.chunk_size for a, b in zip(offsets, offsets[1:]))
+
+    def test_zero_page_has_no_samples(self):
+        zero_page = np.zeros(4096, dtype=np.uint8)
+        fingerprint = page_fingerprint(zero_page)
+        assert fingerprint.digests == ()
+
+    def test_sampling_positions_are_content_defined(self, random_page):
+        """Shifting content shifts the sampled chunks with it."""
+        config = FingerprintConfig(cardinality=32)
+        shifted = np.roll(random_page, 256)
+        original = page_fingerprint(random_page, config)
+        moved = page_fingerprint(shifted, config)
+        # Most digests survive the shift (windows travel with content).
+        shared = original.overlap(moved)
+        assert shared >= len(original.digests) // 2
+
+
+class TestPageFingerprint:
+    def test_overlap_symmetric(self, random_page):
+        other = random_page.copy()
+        other[:512] = rng_for("fp-other").integers(0, 256, size=512, dtype=np.uint8)
+        fp_a = page_fingerprint(random_page)
+        fp_b = page_fingerprint(other)
+        assert fp_a.overlap(fp_b) == fp_b.overlap(fp_a)
+
+    def test_identical_pages_full_overlap(self, random_page):
+        fp_a = page_fingerprint(random_page)
+        fp_b = page_fingerprint(random_page.copy())
+        assert fp_a.overlap(fp_b) == len(fp_a.digest_set)
+
+    def test_digest_bits_truncation(self, random_page):
+        config = FingerprintConfig(digest_bits=16)
+        fingerprint = page_fingerprint(random_page, config)
+        assert all(d < 2**16 for d in fingerprint.digests)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            PageFingerprint(digests=(1, 2), offsets=(0,))
+
+    def test_image_fingerprints_per_page(self, linalg_image):
+        fingerprints = image_fingerprints(linalg_image)
+        assert len(fingerprints) == linalg_image.num_pages
+
+    @given(st.integers(min_value=1, max_value=20))
+    def test_cardinality_monotone_in_digest_count(self, cardinality):
+        page = rng_for("fp-prop-page").integers(0, 256, size=4096, dtype=np.uint8)
+        config = FingerprintConfig(cardinality=cardinality)
+        fingerprint = page_fingerprint(page, config)
+        assert len(fingerprint.digests) <= cardinality

@@ -1,0 +1,92 @@
+"""Tests for the fingerprint sampling strategies (value vs fixed offsets)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._util import rng_for
+from repro.memory.fingerprint import (
+    FingerprintConfig,
+    SamplingStrategy,
+    page_fingerprint,
+    sample_chunk_offsets,
+)
+
+
+@pytest.fixture(scope="module")
+def page():
+    return rng_for("strategy-page").integers(0, 256, size=4096, dtype=np.uint8)
+
+
+FIXED = FingerprintConfig(strategy=SamplingStrategy.FIXED_OFFSETS)
+VALUE = FingerprintConfig(strategy=SamplingStrategy.VALUE_SAMPLED)
+
+
+class TestFixedOffsets:
+    def test_deterministic(self, page):
+        a = sample_chunk_offsets(page, FIXED)
+        b = sample_chunk_offsets(page, FIXED)
+        assert list(a) == list(b)
+
+    def test_same_offsets_for_any_content(self, page):
+        other = rng_for("strategy-other").integers(0, 256, size=4096, dtype=np.uint8)
+        assert list(sample_chunk_offsets(page, FIXED)) == list(
+            sample_chunk_offsets(other, FIXED)
+        )
+
+    def test_cardinality_respected(self, page):
+        config = FingerprintConfig(
+            strategy=SamplingStrategy.FIXED_OFFSETS, cardinality=3
+        )
+        assert len(sample_chunk_offsets(page, config)) == 3
+
+    def test_chunks_fit(self, page):
+        for start in sample_chunk_offsets(page, FIXED):
+            assert 0 <= start <= len(page) - FIXED.chunk_size
+
+    def test_identical_pages_match(self, page):
+        fp_a = page_fingerprint(page, FIXED)
+        fp_b = page_fingerprint(page.copy(), FIXED)
+        assert fp_a.overlap(fp_b) == len(fp_a.digest_set)
+
+    def test_tiny_page(self):
+        tiny = np.zeros(16, dtype=np.uint8)
+        assert sample_chunk_offsets(tiny, FIXED).size == 0
+
+
+class TestStrategyContrast:
+    """The Section-8 Difference Engine comparison: value sampling
+    survives content shifts, fixed offsets do not."""
+
+    def test_shifted_content_value_wins(self, page):
+        shifted = np.roll(page, 272)  # a non-page sub-shift
+        value_overlap = page_fingerprint(page, VALUE).overlap(
+            page_fingerprint(shifted, VALUE)
+        )
+        fixed_overlap = page_fingerprint(page, FIXED).overlap(
+            page_fingerprint(shifted, FIXED)
+        )
+        assert value_overlap > fixed_overlap
+
+    def test_unshifted_content_both_match(self, page):
+        assert page_fingerprint(page, VALUE).overlap(
+            page_fingerprint(page.copy(), VALUE)
+        ) == len(page_fingerprint(page, VALUE).digest_set)
+        assert page_fingerprint(page, FIXED).overlap(
+            page_fingerprint(page.copy(), FIXED)
+        ) == len(page_fingerprint(page, FIXED).digest_set)
+
+    def test_savings_gap_on_aslr_images(self):
+        """End to end: ASLR'd sandboxes dedup better with value sampling."""
+        from repro.analysis.study import measure_function_savings
+        from repro.workload.functionbench import FunctionBenchSuite
+
+        suite = FunctionBenchSuite.subset(["LinAlg"])
+        value = measure_function_savings(
+            suite, content_scale=1 / 256, aslr=True, fingerprint=VALUE
+        )["LinAlg"].savings_fraction
+        fixed = measure_function_savings(
+            suite, content_scale=1 / 256, aslr=True, fingerprint=FIXED
+        )["LinAlg"].savings_fraction
+        assert value >= fixed

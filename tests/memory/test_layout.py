@@ -1,0 +1,161 @@
+"""Tests for the memory region model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro._util import MIB, PAGE_SIZE
+from repro.memory.layout import (
+    RUNTIME_BYTES,
+    AslrBehavior,
+    ImageLayout,
+    RegionSpec,
+    SharingScope,
+    standard_layout,
+)
+
+
+def spec(**overrides) -> RegionSpec:
+    base = dict(
+        name="r",
+        scope=SharingScope.FUNCTION,
+        content_key="k",
+        fraction=0.5,
+    )
+    base.update(overrides)
+    return RegionSpec(**base)
+
+
+class TestRegionSpec:
+    def test_valid(self):
+        region = spec(mutation_rate=0.001, pointer_interval=128, common_fill=0.5)
+        assert region.fraction == 0.5
+
+    @pytest.mark.parametrize("fraction", [0.0, -0.1, 1.5])
+    def test_bad_fraction(self, fraction):
+        with pytest.raises(ValueError):
+            spec(fraction=fraction)
+
+    def test_bad_mutation_rate(self):
+        with pytest.raises(ValueError):
+            spec(mutation_rate=-1e-3)
+        with pytest.raises(ValueError):
+            spec(mutation_rate=1.0)
+
+    def test_bad_common_fill(self):
+        with pytest.raises(ValueError):
+            spec(common_fill=1.5)
+
+    def test_bad_dirty_rate(self):
+        with pytest.raises(ValueError):
+            spec(dirty_page_rate=-0.2)
+
+    def test_bad_pointer_interval(self):
+        with pytest.raises(ValueError):
+            spec(pointer_interval=-1)
+
+
+class TestImageLayout:
+    def _two_region_layout(self) -> ImageLayout:
+        return ImageLayout(
+            function="f",
+            regions=(
+                spec(name="a", fraction=0.25),
+                spec(name="b", fraction=0.75),
+            ),
+        )
+
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum"):
+            ImageLayout(function="f", regions=(spec(name="a", fraction=0.5),))
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            ImageLayout(
+                function="f",
+                regions=(spec(name="a", fraction=0.5), spec(name="a", fraction=0.5)),
+            )
+
+    def test_place_is_page_aligned_and_contiguous(self):
+        layout = self._two_region_layout()
+        placed = layout.place(1 * MIB)
+        offset = 0
+        for region in placed:
+            assert region.offset == offset
+            assert region.size % PAGE_SIZE == 0
+            assert region.size >= PAGE_SIZE
+            offset += region.size
+
+    def test_place_total_close_to_request(self):
+        layout = self._two_region_layout()
+        placed = layout.place(1 * MIB)
+        total = sum(r.size for r in placed)
+        assert abs(total - 1 * MIB) <= PAGE_SIZE * len(placed)
+
+    def test_place_rejects_tiny_total(self):
+        layout = self._two_region_layout()
+        with pytest.raises(ValueError):
+            layout.place(PAGE_SIZE)
+
+
+class TestStandardLayout:
+    def test_fractions_sum_to_one(self):
+        layout = standard_layout("F", ("numpy",), 32 * MIB)
+        assert abs(sum(r.fraction for r in layout.regions) - 1.0) < 1e-9
+
+    def test_runtime_region_absolute_size_invariant(self):
+        # Two differently-sized functions share an equally-sized runtime.
+        small = standard_layout("S", (), 17 * MIB)
+        large = standard_layout("L", ("torch",), 90 * MIB)
+        small_runtime = next(r for r in small.regions if r.name == "runtime")
+        large_runtime = next(r for r in large.regions if r.name == "runtime")
+        assert abs(small_runtime.fraction * 17 * MIB - RUNTIME_BYTES) < PAGE_SIZE
+        assert abs(large_runtime.fraction * 90 * MIB - RUNTIME_BYTES) < PAGE_SIZE
+
+    def test_library_regions_present_and_shared_key(self):
+        a = standard_layout("A", ("numpy",), 32 * MIB)
+        b = standard_layout("B", ("numpy", "pandas"), 64 * MIB)
+        key_a = next(r.content_key for r in a.regions if r.name == "lib-numpy")
+        key_b = next(r.content_key for r in b.regions if r.name == "lib-numpy")
+        assert key_a == key_b == "lib:numpy"
+
+    def test_function_private_regions_keyed_by_function(self):
+        a = standard_layout("A", (), 17 * MIB)
+        b = standard_layout("B", (), 17 * MIB)
+        heap_a = next(r for r in a.regions if r.name == "heap")
+        heap_b = next(r for r in b.regions if r.name == "heap")
+        assert heap_a.content_key != heap_b.content_key
+
+    def test_unique_region_is_instance_scope_and_fully_dirty(self):
+        layout = standard_layout("F", (), 17 * MIB)
+        unique = next(r for r in layout.regions if r.name == "unique")
+        assert unique.scope is SharingScope.INSTANCE
+        assert unique.dirty_page_rate == 1.0
+
+    def test_stack_uses_fine_grained_aslr(self):
+        layout = standard_layout("F", (), 17 * MIB)
+        stack = next(r for r in layout.regions if r.name == "stack")
+        assert stack.aslr is AslrBehavior.FINE
+
+    def test_oversized_libraries_are_squeezed(self):
+        # torch alone is 42 MB; a 56 MB footprint forces a squeeze but
+        # must still produce a valid layout.
+        layout = standard_layout("F", ("torch", "pandas", "opencv"), 70 * MIB)
+        assert abs(sum(r.fraction for r in layout.regions) - 1.0) < 1e-9
+        shared = sum(
+            r.fraction
+            for r in layout.regions
+            if r.scope in (SharingScope.RUNTIME, SharingScope.LIBRARY)
+        )
+        assert shared <= 0.95
+
+    def test_rejects_footprint_below_runtime(self):
+        with pytest.raises(ValueError):
+            standard_layout("F", (), RUNTIME_BYTES // 2)
+
+    def test_unique_boost_grows_unique_region(self):
+        plain = standard_layout("F", (), 66 * MIB)
+        boosted = standard_layout("F", (), 66 * MIB, unique_boost=2.5)
+        plain_unique = next(r.fraction for r in plain.regions if r.name == "unique")
+        boosted_unique = next(r.fraction for r in boosted.regions if r.name == "unique")
+        assert boosted_unique > plain_unique

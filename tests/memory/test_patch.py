@@ -1,0 +1,164 @@
+"""Tests for the binary delta codec."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro._util import rng_for
+from repro.memory.patch import (
+    CopyOp,
+    InsertOp,
+    Patch,
+    apply_patch,
+    compute_patch,
+)
+
+
+def random_bytes(tag: str, n: int) -> bytes:
+    return rng_for("patch-test", tag).integers(0, 256, size=n, dtype=np.uint8).tobytes()
+
+
+class TestRoundTrip:
+    def test_identical_buffers(self):
+        base = random_bytes("a", 4096)
+        patch = compute_patch(base, base)
+        assert apply_patch(patch, base) == base
+        assert patch.size_bytes < 64
+
+    def test_single_byte_change(self):
+        base = bytearray(random_bytes("b", 4096))
+        target = bytes(base)
+        base[100] ^= 0xFF
+        patch = compute_patch(target, bytes(base))
+        assert apply_patch(patch, bytes(base)) == target
+        assert patch.size_bytes < 128
+
+    def test_unrelated_buffers(self):
+        base = random_bytes("c", 4096)
+        target = random_bytes("d", 4096)
+        patch = compute_patch(target, base)
+        assert apply_patch(patch, base) == target
+        # Degenerates to roughly one big insert.
+        assert patch.size_bytes >= 4096
+
+    def test_shifted_content_found_by_anchors(self):
+        base = random_bytes("e", 4096)
+        target = base[128:] + base[:128]  # rotation
+        patch = compute_patch(target, base)
+        assert apply_patch(patch, base) == target
+        assert patch.size_bytes < 1024
+
+    def test_different_lengths(self):
+        base = random_bytes("f", 4096)
+        target = base[:1000] + random_bytes("g", 200) + base[2000:]
+        patch = compute_patch(target, base)
+        assert apply_patch(patch, base) == target
+        assert patch.size_bytes < len(target) // 2
+
+    def test_empty_target(self):
+        base = random_bytes("h", 512)
+        patch = compute_patch(b"", base)
+        assert apply_patch(patch, base) == b""
+
+    def test_empty_base(self):
+        target = random_bytes("i", 512)
+        patch = compute_patch(target, b"")
+        assert apply_patch(patch, b"") == target
+
+    def test_numpy_inputs(self):
+        base = np.frombuffer(random_bytes("j", 2048), dtype=np.uint8)
+        target = base.copy()
+        target.setflags(write=True)
+        target[10:20] = 0
+        patch = compute_patch(target, base)
+        assert apply_patch(patch, base) == target.tobytes()
+
+    @given(st.data())
+    def test_property_roundtrip(self, data):
+        base = data.draw(st.binary(min_size=0, max_size=2048))
+        strategy = data.draw(st.sampled_from(["mutate", "unrelated", "subset"]))
+        if strategy == "mutate" and base:
+            target = bytearray(base)
+            for _ in range(data.draw(st.integers(0, 10))):
+                pos = data.draw(st.integers(0, len(base) - 1))
+                target[pos] = data.draw(st.integers(0, 255))
+            target = bytes(target)
+        elif strategy == "subset" and len(base) > 10:
+            lo = data.draw(st.integers(0, len(base) // 2))
+            hi = data.draw(st.integers(lo, len(base)))
+            target = base[lo:hi] * 2
+        else:
+            target = data.draw(st.binary(min_size=0, max_size=2048))
+        patch = compute_patch(target, base)
+        assert apply_patch(patch, base) == target
+
+
+class TestSerialization:
+    def _sample_patch(self) -> tuple[Patch, bytes]:
+        base = random_bytes("s", 4096)
+        target = bytearray(base)
+        target[500:600] = random_bytes("t", 100)
+        patch = compute_patch(bytes(target), base)
+        return patch, base
+
+    def test_serialize_roundtrip(self):
+        patch, base = self._sample_patch()
+        decoded = Patch.deserialize(patch.serialize())
+        assert decoded == patch
+        assert apply_patch(decoded, base) == apply_patch(patch, base)
+
+    def test_size_bytes_matches_encoding(self):
+        patch, _ = self._sample_patch()
+        assert patch.size_bytes == len(patch.serialize())
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            Patch.deserialize(b"garbage-bytes-here")
+
+    def test_copied_plus_literal_equals_target(self):
+        patch, _ = self._sample_patch()
+        assert patch.copied_bytes + patch.literal_bytes == patch.target_len
+
+
+class TestValidation:
+    def test_ops_must_produce_target_len(self):
+        with pytest.raises(ValueError):
+            Patch(ops=(InsertOp(data=b"abc"),), target_len=5, base_len=0)
+
+    def test_apply_rejects_wrong_base_length(self):
+        patch = Patch(ops=(CopyOp(src_off=0, length=4),), target_len=4, base_len=4)
+        with pytest.raises(ValueError, match="base length"):
+            apply_patch(patch, b"too-long-base")
+
+    def test_apply_rejects_out_of_bounds_copy(self):
+        patch = Patch(ops=(CopyOp(src_off=2, length=4),), target_len=4, base_len=4)
+        with pytest.raises(ValueError, match="bounds"):
+            apply_patch(patch, b"abcd")
+
+    def test_compute_rejects_non_uint8_array(self):
+        with pytest.raises(ValueError):
+            compute_patch(np.zeros(4, dtype=np.int32), b"abcd")
+
+
+class TestPatchQuality:
+    def test_similar_pages_much_smaller_than_page(self, linalg_profile):
+        """The dedup premise: same-function pages patch down to ~nothing."""
+        a = linalg_profile.synthesize(1, content_scale=1 / 256)
+        b = linalg_profile.synthesize(2, content_scale=1 / 256)
+        sizes = []
+        for i in range(min(a.num_pages, b.num_pages)):
+            patch = compute_patch(b.page(i), a.page(i))
+            assert apply_patch(patch, a.page(i)) == b.page_bytes(i)
+            sizes.append(patch.size_bytes)
+        assert np.mean(sizes) < 0.2 * a.page_size
+
+    def test_level_two_at_least_as_small_on_shifts(self):
+        base = random_bytes("lvl", 4096)
+        target = base[40:] + base[:40]  # awkward non-multiple-of-8 shift
+        level1 = compute_patch(target, base, level=1)
+        level2 = compute_patch(target, base, level=2)
+        assert apply_patch(level2, base) == target
+        assert level2.size_bytes <= level1.size_bytes

@@ -1,0 +1,76 @@
+"""Tests for the Comparison container and its derived tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.policy import MedesPolicyConfig
+from repro.platform.comparison import DEFAULT_KINDS, Comparison, run_comparison
+from repro.platform.config import ClusterConfig
+from repro.platform.platform import PlatformKind
+from repro.workload.functionbench import FunctionBenchSuite
+from repro.workload.trace import Trace
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    suite = FunctionBenchSuite.subset(["Vanilla", "LinAlg"])
+    trace = Trace.from_arrivals(
+        [(0.0, "Vanilla"), (3_000.0, "LinAlg"), (6_000.0, "Vanilla"), (9_000.0, "LinAlg")]
+    )
+    config = ClusterConfig(nodes=1, node_memory_mb=512.0, content_scale=1 / 256, seed=2)
+    return run_comparison(
+        trace, suite, config, medes=MedesPolicyConfig(idle_period_ms=5_000.0, alpha=25.0)
+    )
+
+
+class TestStructure:
+    def test_default_kinds(self):
+        assert PlatformKind.MEDES in DEFAULT_KINDS
+        assert len(DEFAULT_KINDS) == 3
+
+    def test_names_and_medes_lookup(self, comparison):
+        assert set(comparison.names) == {"fixed-ka-10min", "adaptive-ka", "medes"}
+        assert comparison.medes_name() == "medes"
+
+    def test_medes_lookup_fails_without_medes(self, comparison):
+        partial = Comparison(
+            trace=comparison.trace, suite=comparison.suite, config=comparison.config
+        )
+        partial.reports["fixed-ka-10min"] = comparison.reports["fixed-ka-10min"]
+        with pytest.raises(KeyError):
+            partial.medes_name()
+
+
+class TestDerivedTables:
+    def test_cold_start_table_covers_functions(self, comparison):
+        table = comparison.cold_start_table()
+        functions = set(comparison.trace.functions())
+        for name, by_fn in table:
+            assert set(by_fn) == functions
+            assert all(v >= 0 for v in by_fn.values())
+
+    def test_tail_latency_table(self, comparison):
+        for name, by_fn in comparison.tail_latency_table(99):
+            for fn, value in by_fn.items():
+                assert value > 0
+
+    def test_memory_table(self, comparison):
+        table = comparison.memory_table()
+        assert len(table) == 3
+        for name, mean_mb, median_mb in table:
+            assert mean_mb >= 0
+            assert median_mb >= 0
+
+    def test_improvement_pairs_all_requests(self, comparison):
+        factors = comparison.improvement_over("fixed-ka-10min")
+        assert len(factors) == len(comparison.trace)
+        assert all(f > 0 for f in factors)
+
+    def test_improvement_function_filter(self, comparison):
+        factors = comparison.improvement_over("fixed-ka-10min", function="Vanilla")
+        assert len(factors) == 2
+
+    def test_extra_sandboxes_metric(self, comparison):
+        value = comparison.extra_sandboxes_vs("fixed-ka-10min")
+        assert isinstance(value, float)

@@ -1,0 +1,145 @@
+"""Tests for run metrics and paired comparisons."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.platform.metrics import (
+    MemorySample,
+    RequestRecord,
+    RunMetrics,
+    StartType,
+    improvement_factors,
+)
+
+
+def completed(metrics: RunMetrics, request_id: int, function: str, *,
+              arrival: float, e2e: float, start: StartType) -> RequestRecord:
+    record = metrics.on_arrival(request_id, function, arrival)
+    record.start_type = start
+    record.exec_ms = e2e / 2
+    record.completion_ms = arrival + e2e
+    return record
+
+
+class TestRequestRecord:
+    def test_e2e_requires_completion(self):
+        record = RequestRecord(request_id=0, function="f", arrival_ms=10.0)
+        with pytest.raises(RuntimeError):
+            _ = record.e2e_ms
+
+    def test_e2e_and_slowdown(self):
+        record = RequestRecord(request_id=0, function="f", arrival_ms=10.0)
+        record.exec_ms = 50.0
+        record.completion_ms = 110.0
+        assert record.e2e_ms == 100.0
+        assert record.slowdown == 2.0
+
+    def test_slowdown_degenerate_exec(self):
+        record = RequestRecord(request_id=0, function="f", arrival_ms=0.0)
+        record.completion_ms = 10.0
+        assert record.slowdown == 1.0
+
+
+class TestAggregation:
+    @pytest.fixture
+    def metrics(self) -> RunMetrics:
+        metrics = RunMetrics(platform_name="test")
+        completed(metrics, 0, "a", arrival=0.0, e2e=100.0, start=StartType.COLD)
+        completed(metrics, 1, "a", arrival=10.0, e2e=20.0, start=StartType.WARM)
+        completed(metrics, 2, "b", arrival=20.0, e2e=500.0, start=StartType.COLD)
+        completed(metrics, 3, "b", arrival=30.0, e2e=50.0, start=StartType.DEDUP)
+        metrics.on_arrival(4, "b", 40.0)  # never completes
+        return metrics
+
+    def test_start_counts(self, metrics):
+        counts = metrics.start_counts()
+        assert counts[StartType.COLD] == 2
+        assert counts[StartType.WARM] == 1
+        assert counts[StartType.DEDUP] == 1
+
+    def test_cold_starts_filtered(self, metrics):
+        assert metrics.cold_starts() == 2
+        assert metrics.cold_starts("a") == 1
+        assert metrics.cold_starts_by_function() == {"a": 1, "b": 1}
+
+    def test_incomplete_requests_excluded(self, metrics):
+        assert len(metrics.completed_records()) == 4
+
+    def test_percentiles(self, metrics):
+        assert metrics.e2e_percentile(100) == 500.0
+        assert metrics.e2e_percentile(0, "a") == 20.0
+        assert math.isnan(metrics.e2e_percentile(50, "missing"))
+
+    def test_functions(self, metrics):
+        assert metrics.functions() == ("a", "b")
+
+    def test_dedup_share(self, metrics):
+        metrics.sandboxes_created = 4
+        from repro.platform.metrics import DedupOpRecord
+
+        metrics.dedup_ops.append(
+            DedupOpRecord(
+                function="a",
+                sandbox_id=1,
+                started_ms=0.0,
+                duration_ms=100.0,
+                lookup_ms=10.0,
+                savings_fraction=0.5,
+                retained_full_bytes=100,
+                same_function_pages=5,
+                cross_function_pages=5,
+            )
+        )
+        assert metrics.dedup_share() == 0.25
+
+
+class TestMemoryTimeline:
+    def test_mean_and_median(self):
+        metrics = RunMetrics(platform_name="test")
+        for i, used in enumerate([100, 200, 300]):
+            metrics.memory_timeline.append(
+                MemorySample(
+                    time_ms=float(i),
+                    used_bytes=used,
+                    warm_count=1,
+                    dedup_count=0,
+                    total_sandboxes=1,
+                )
+            )
+        assert metrics.mean_memory_bytes() == 200.0
+        assert metrics.median_memory_bytes() == 200.0
+        assert metrics.mean_sandbox_count() == 1.0
+
+    def test_empty_timeline(self):
+        metrics = RunMetrics(platform_name="test")
+        assert metrics.mean_memory_bytes() == 0.0
+
+
+class TestImprovementFactors:
+    def test_pairing_by_request_id(self):
+        baseline = RunMetrics(platform_name="base")
+        improved = RunMetrics(platform_name="fast")
+        completed(baseline, 0, "a", arrival=0.0, e2e=200.0, start=StartType.COLD)
+        completed(improved, 0, "a", arrival=0.0, e2e=100.0, start=StartType.DEDUP)
+        completed(baseline, 1, "a", arrival=5.0, e2e=50.0, start=StartType.WARM)
+        completed(improved, 1, "a", arrival=5.0, e2e=50.0, start=StartType.WARM)
+        factors = improvement_factors(baseline, improved)
+        assert sorted(factors) == [1.0, 2.0]
+
+    def test_function_filter(self):
+        baseline = RunMetrics(platform_name="base")
+        improved = RunMetrics(platform_name="fast")
+        completed(baseline, 0, "a", arrival=0.0, e2e=200.0, start=StartType.COLD)
+        completed(improved, 0, "a", arrival=0.0, e2e=100.0, start=StartType.WARM)
+        completed(baseline, 1, "b", arrival=0.0, e2e=300.0, start=StartType.COLD)
+        completed(improved, 1, "b", arrival=0.0, e2e=100.0, start=StartType.WARM)
+        assert improvement_factors(baseline, improved, function="b") == [3.0]
+
+    def test_unmatched_requests_skipped(self):
+        baseline = RunMetrics(platform_name="base")
+        improved = RunMetrics(platform_name="fast")
+        completed(baseline, 0, "a", arrival=0.0, e2e=200.0, start=StartType.COLD)
+        assert improvement_factors(baseline, improved) == []

@@ -1,0 +1,88 @@
+"""Tests for report/comparison JSON export."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.policy import MedesPolicyConfig
+from repro.platform.comparison import run_comparison
+from repro.platform.config import ClusterConfig
+from repro.platform.platform import PlatformKind, build_platform
+from repro.platform.report_io import (
+    comparison_to_dict,
+    metrics_to_dict,
+    report_to_dict,
+    save_report,
+)
+from repro.workload.functionbench import FunctionBenchSuite
+from repro.workload.trace import Trace
+
+
+@pytest.fixture(scope="module")
+def report():
+    suite = FunctionBenchSuite.subset(["Vanilla", "LinAlg"])
+    trace = Trace.from_arrivals(
+        [(0.0, "Vanilla"), (1.0, "Vanilla"), (60_000.0, "LinAlg"), (120_000.0, "Vanilla")]
+    )
+    config = ClusterConfig(nodes=1, node_memory_mb=512.0, content_scale=1 / 256)
+    platform = build_platform(
+        PlatformKind.MEDES, config, suite,
+        medes=MedesPolicyConfig(idle_period_ms=5_000.0, alpha=25.0),
+    )
+    return platform.run(trace)
+
+
+class TestReportToDict:
+    def test_json_serializable(self, report):
+        payload = report_to_dict(report, include_requests=True)
+        encoded = json.dumps(payload)
+        assert "medes" in encoded
+
+    def test_counts_consistent(self, report):
+        payload = report_to_dict(report)
+        metrics = payload["metrics"]
+        assert metrics["requests_completed"] == 4
+        assert sum(metrics["starts"].values()) == 4
+        assert metrics["starts"]["cold"] == sum(
+            metrics["cold_starts_by_function"].values()
+        )
+
+    def test_config_digest(self, report):
+        payload = report_to_dict(report)
+        assert payload["config"]["nodes"] == 1
+        assert payload["config"]["cold_start_mode"] == "standard"
+
+    def test_request_detail(self, report):
+        payload = report_to_dict(report, include_requests=True)
+        requests = payload["metrics"]["requests"]
+        assert len(requests) == 4
+        assert all(r["e2e_ms"] is not None for r in requests)
+
+    def test_save_report(self, report, tmp_path):
+        path = save_report(report, tmp_path / "run.json")
+        loaded = json.loads(path.read_text())
+        assert loaded["platform"] == "medes"
+
+
+class TestComparisonToDict:
+    def test_structure(self):
+        suite = FunctionBenchSuite.subset(["Vanilla"])
+        trace = Trace.from_arrivals([(0.0, "Vanilla"), (5_000.0, "Vanilla")])
+        config = ClusterConfig(nodes=1, node_memory_mb=256.0, content_scale=1 / 256)
+        comparison = run_comparison(trace, suite, config)
+        payload = comparison_to_dict(comparison)
+        assert set(payload["platforms"]) == set(comparison.names)
+        assert payload["requests"] == 2
+        assert "fixed-ka-10min" in payload["medes_improvement_over"]
+        json.dumps(payload)  # fully serializable
+
+
+class TestMetricsToDict:
+    def test_empty_metrics(self):
+        from repro.platform.metrics import RunMetrics
+
+        payload = metrics_to_dict(RunMetrics(platform_name="empty"))
+        assert payload["requests_completed"] == 0
+        assert payload["dedup"]["ops"] == 0

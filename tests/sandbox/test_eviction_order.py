@@ -1,0 +1,60 @@
+"""Tests for the configurable eviction orders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro._util import MIB
+from repro.sandbox.node import EvictionOrder, Node
+from repro.sandbox.sandbox import Sandbox
+from repro.sandbox.state import SandboxState
+from repro.workload.functionbench import FunctionBenchSuite
+
+
+@pytest.fixture
+def node(suite):
+    node = Node(node_id=0, capacity_bytes=1024 * MIB)
+
+    def add(profile_name: str, used_at: float) -> Sandbox:
+        sandbox = Sandbox(
+            profile=suite.get(profile_name),
+            node_id=0,
+            instance_seed=1,
+            created_at=0.0,
+        )
+        sandbox.transition(SandboxState.RUNNING, used_at)
+        sandbox.transition(SandboxState.WARM, used_at + 1)
+        node.admit(sandbox)
+        return sandbox
+
+    node.add = add  # type: ignore[attr-defined]
+    return node
+
+
+class TestOrders:
+    def test_lru_by_last_use(self, node):
+        old = node.add("Vanilla", 10.0)
+        new = node.add("Vanilla", 100.0)
+        assert node.eviction_candidates(EvictionOrder.LRU) == [old, new]
+
+    def test_largest_first_by_footprint(self, node):
+        small = node.add("Vanilla", 10.0)  # 17 MB
+        large = node.add("RNNModel", 100.0)  # 90 MB
+        assert node.eviction_candidates(EvictionOrder.LARGEST_FIRST) == [large, small]
+
+    def test_random_deterministic(self, node):
+        node.add("Vanilla", 10.0)
+        node.add("LinAlg", 20.0)
+        node.add("RNNModel", 30.0)
+        first = node.eviction_candidates(EvictionOrder.RANDOM)
+        second = node.eviction_candidates(EvictionOrder.RANDOM)
+        assert first == second
+
+    def test_all_orders_same_victim_set(self, node):
+        node.add("Vanilla", 10.0)
+        node.add("LinAlg", 20.0)
+        sets = {
+            order: frozenset(s.sandbox_id for s in node.eviction_candidates(order))
+            for order in EvictionOrder
+        }
+        assert len(set(sets.values())) == 1

@@ -1,0 +1,92 @@
+"""Tests for worker-node memory accounting and eviction candidates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro._util import MIB
+from repro.sandbox.node import Node, least_used_node
+from repro.sandbox.sandbox import Sandbox
+from repro.sandbox.state import SandboxState
+
+
+def make_sandbox(profile, node_id=0, created=0.0) -> Sandbox:
+    sandbox = Sandbox(profile=profile, node_id=node_id, instance_seed=1, created_at=created)
+    sandbox.transition(SandboxState.RUNNING, created)
+    sandbox.transition(SandboxState.WARM, created + 1)
+    return sandbox
+
+
+@pytest.fixture
+def node() -> Node:
+    return Node(node_id=0, capacity_bytes=256 * MIB)
+
+
+class TestAccounting:
+    def test_empty_node(self, node):
+        assert node.used_bytes() == 0
+        assert node.free_bytes() == node.capacity_bytes
+        assert node.fits(node.capacity_bytes)
+        assert not node.fits(node.capacity_bytes + 1)
+
+    def test_admit_counts_memory(self, node, linalg_profile):
+        sandbox = make_sandbox(linalg_profile)
+        node.admit(sandbox)
+        assert node.used_bytes() == linalg_profile.memory_bytes
+
+    def test_admit_wrong_node_rejected(self, node, linalg_profile):
+        sandbox = make_sandbox(linalg_profile, node_id=3)
+        with pytest.raises(ValueError, match="targets node"):
+            node.admit(sandbox)
+
+    def test_double_admit_rejected(self, node, linalg_profile):
+        sandbox = make_sandbox(linalg_profile)
+        node.admit(sandbox)
+        with pytest.raises(ValueError, match="already"):
+            node.admit(sandbox)
+
+    def test_remove(self, node, linalg_profile):
+        sandbox = make_sandbox(linalg_profile)
+        node.admit(sandbox)
+        assert node.remove(sandbox.sandbox_id) is sandbox
+        assert node.used_bytes() == 0
+        with pytest.raises(KeyError):
+            node.remove(sandbox.sandbox_id)
+
+
+class TestEvictionCandidates:
+    def test_lru_ordering(self, node, linalg_profile):
+        old = make_sandbox(linalg_profile, created=0.0)
+        new = make_sandbox(linalg_profile, created=100.0)
+        node.admit(new)
+        node.admit(old)
+        victims = node.eviction_candidates()
+        assert victims == [old, new]
+
+    def test_busy_and_base_excluded(self, node, linalg_profile):
+        busy = make_sandbox(linalg_profile)
+        busy.busy_request_id = 1
+        base = make_sandbox(linalg_profile)
+        base.is_base = True
+        idle = make_sandbox(linalg_profile)
+        for s in (busy, base, idle):
+            node.admit(s)
+        assert node.eviction_candidates() == [idle]
+
+
+class TestLeastUsedNode:
+    def test_picks_emptiest(self, linalg_profile):
+        a = Node(node_id=0, capacity_bytes=256 * MIB)
+        b = Node(node_id=1, capacity_bytes=256 * MIB)
+        sandbox = make_sandbox(linalg_profile, node_id=0)
+        a.admit(sandbox)
+        assert least_used_node([a, b]) is b
+
+    def test_tie_breaks_by_id(self):
+        a = Node(node_id=0, capacity_bytes=1)
+        b = Node(node_id=1, capacity_bytes=1)
+        assert least_used_node([b, a]) is a
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            least_used_node([])

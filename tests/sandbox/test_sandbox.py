@@ -1,0 +1,110 @@
+"""Tests for the Sandbox entity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sandbox.sandbox import Sandbox
+from repro.sandbox.state import InvalidTransition, SandboxState
+
+
+class FakeTable:
+    """Minimal RetainedState implementation."""
+
+    def __init__(self, retained: int):
+        self._retained = retained
+
+    @property
+    def retained_full_bytes(self) -> int:
+        return self._retained
+
+
+@pytest.fixture
+def sandbox(linalg_profile) -> Sandbox:
+    return Sandbox(profile=linalg_profile, node_id=0, instance_seed=1, created_at=100.0)
+
+
+class TestLifecycle:
+    def test_initial_state(self, sandbox):
+        assert sandbox.state is SandboxState.SPAWNING
+        assert sandbox.last_used_at == 100.0
+
+    def test_transition_updates_timestamps(self, sandbox):
+        sandbox.transition(SandboxState.RUNNING, 150.0)
+        assert sandbox.last_used_at == 150.0
+        sandbox.transition(SandboxState.WARM, 200.0)
+        assert sandbox.last_idle_at == 200.0
+
+    def test_invalid_transition_raises(self, sandbox):
+        with pytest.raises(InvalidTransition):
+            sandbox.transition(SandboxState.DEDUP, 150.0)
+
+    def test_function_name(self, sandbox):
+        assert sandbox.function == "LinAlg"
+
+
+class TestAvailability:
+    def test_warm_idle_assignable(self, sandbox):
+        sandbox.transition(SandboxState.RUNNING, 110.0)
+        sandbox.transition(SandboxState.WARM, 120.0)
+        assert sandbox.assignable
+        assert sandbox.idle_warm
+
+    def test_busy_not_assignable(self, sandbox):
+        sandbox.transition(SandboxState.RUNNING, 110.0)
+        sandbox.transition(SandboxState.WARM, 120.0)
+        sandbox.busy_request_id = 7
+        assert not sandbox.assignable
+        assert not sandbox.idle_warm
+
+    def test_dedup_assignable(self, sandbox):
+        sandbox.transition(SandboxState.RUNNING, 110.0)
+        sandbox.transition(SandboxState.WARM, 120.0)
+        sandbox.transition(SandboxState.DEDUPING, 130.0)
+        sandbox.transition(SandboxState.DEDUP, 140.0)
+        assert sandbox.assignable
+
+    def test_base_not_evictable(self, sandbox):
+        sandbox.transition(SandboxState.RUNNING, 110.0)
+        sandbox.transition(SandboxState.WARM, 120.0)
+        assert sandbox.evictable
+        sandbox.is_base = True
+        assert not sandbox.evictable
+
+
+class TestMemoryAccounting:
+    def test_warm_full_footprint(self, sandbox, linalg_profile):
+        sandbox.transition(SandboxState.RUNNING, 110.0)
+        sandbox.transition(SandboxState.WARM, 120.0)
+        assert sandbox.memory_bytes() == linalg_profile.memory_bytes
+
+    def test_dedup_charges_retained(self, sandbox):
+        sandbox.transition(SandboxState.RUNNING, 110.0)
+        sandbox.transition(SandboxState.WARM, 120.0)
+        sandbox.transition(SandboxState.DEDUPING, 130.0)
+        sandbox.dedup_table = FakeTable(5_000_000)
+        sandbox.transition(SandboxState.DEDUP, 140.0)
+        assert sandbox.memory_bytes() == 5_000_000
+
+    def test_restoring_charges_both(self, sandbox, linalg_profile):
+        sandbox.transition(SandboxState.RUNNING, 110.0)
+        sandbox.transition(SandboxState.WARM, 120.0)
+        sandbox.transition(SandboxState.DEDUPING, 130.0)
+        sandbox.dedup_table = FakeTable(5_000_000)
+        sandbox.transition(SandboxState.DEDUP, 140.0)
+        sandbox.transition(SandboxState.RESTORING, 150.0)
+        assert sandbox.memory_bytes() == linalg_profile.memory_bytes + 5_000_000
+
+    def test_purged_is_free(self, sandbox):
+        sandbox.transition(SandboxState.RUNNING, 110.0)
+        sandbox.transition(SandboxState.WARM, 120.0)
+        sandbox.transition(SandboxState.PURGED, 130.0)
+        assert sandbox.memory_bytes() == 0
+
+    def test_dedup_without_table_is_error(self, sandbox):
+        sandbox.transition(SandboxState.RUNNING, 110.0)
+        sandbox.transition(SandboxState.WARM, 120.0)
+        sandbox.transition(SandboxState.DEDUPING, 130.0)
+        sandbox.transition(SandboxState.DEDUP, 140.0)
+        with pytest.raises(RuntimeError, match="without dedup table"):
+            sandbox.memory_bytes()

@@ -1,0 +1,78 @@
+"""Tests for the sandbox lifecycle state machine (Figure 4b)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sandbox.state import (
+    ASSIGNABLE_STATES,
+    FULL_FOOTPRINT_STATES,
+    InvalidTransition,
+    SandboxState,
+    allowed_transitions,
+    check_transition,
+)
+
+LEGAL = [
+    (SandboxState.SPAWNING, SandboxState.RUNNING),
+    (SandboxState.SPAWNING, SandboxState.WARM),
+    (SandboxState.SPAWNING, SandboxState.PURGED),
+    (SandboxState.RUNNING, SandboxState.WARM),
+    (SandboxState.WARM, SandboxState.RUNNING),
+    (SandboxState.WARM, SandboxState.DEDUPING),
+    (SandboxState.WARM, SandboxState.PURGED),
+    (SandboxState.DEDUPING, SandboxState.DEDUP),
+    (SandboxState.DEDUPING, SandboxState.WARM),
+    (SandboxState.DEDUP, SandboxState.RESTORING),
+    (SandboxState.DEDUP, SandboxState.PURGED),
+    (SandboxState.RESTORING, SandboxState.RUNNING),
+    (SandboxState.RESTORING, SandboxState.WARM),
+]
+
+
+@pytest.mark.parametrize("current,new", LEGAL)
+def test_legal_transitions(current, new):
+    check_transition(current, new)  # must not raise
+
+
+def test_illegal_transitions_exhaustive():
+    legal = set(LEGAL)
+    for current in SandboxState:
+        for new in SandboxState:
+            if (current, new) in legal:
+                continue
+            with pytest.raises(InvalidTransition):
+                check_transition(current, new)
+
+
+def test_purged_is_terminal():
+    assert allowed_transitions(SandboxState.PURGED) == frozenset()
+
+
+def test_figure_4b_key_paths():
+    """The paper's lifecycle: warm -> dedup -> restore -> running -> warm."""
+    path = [
+        SandboxState.SPAWNING,
+        SandboxState.RUNNING,
+        SandboxState.WARM,
+        SandboxState.DEDUPING,
+        SandboxState.DEDUP,
+        SandboxState.RESTORING,
+        SandboxState.RUNNING,
+        SandboxState.WARM,
+        SandboxState.PURGED,
+    ]
+    for current, new in zip(path, path[1:]):
+        check_transition(current, new)
+
+
+def test_assignable_states():
+    assert SandboxState.WARM in ASSIGNABLE_STATES
+    assert SandboxState.DEDUP in ASSIGNABLE_STATES
+    assert SandboxState.RUNNING not in ASSIGNABLE_STATES
+    assert SandboxState.DEDUPING not in ASSIGNABLE_STATES
+
+
+def test_full_footprint_states():
+    assert SandboxState.WARM in FULL_FOOTPRINT_STATES
+    assert SandboxState.DEDUP not in FULL_FOOTPRINT_STATES

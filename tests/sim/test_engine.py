@@ -1,0 +1,160 @@
+"""Tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.at(5.0, lambda: order.append("b"))
+        sim.at(1.0, lambda: order.append("a"))
+        sim.at(9.0, lambda: order.append("c"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_fifo(self):
+        sim = Simulator()
+        order = []
+        for i in range(5):
+            sim.at(3.0, lambda i=i: order.append(i))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.at(7.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [7.5]
+        assert sim.now == 7.5
+
+    def test_after_relative(self):
+        sim = Simulator(start_time=100.0)
+        seen = []
+        sim.after(5.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [105.0]
+
+    def test_cannot_schedule_in_past(self):
+        sim = Simulator(start_time=10.0)
+        with pytest.raises(SimulationError):
+            sim.at(5.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.after(-1.0, lambda: None)
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        order = []
+
+        def outer():
+            order.append("outer")
+            sim.after(1.0, lambda: order.append("inner"))
+
+        sim.at(1.0, outer)
+        sim.run()
+        assert order == ["outer", "inner"]
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=50))
+    def test_arbitrary_schedules_run_sorted(self, times):
+        sim = Simulator()
+        seen = []
+        for t in times:
+            sim.at(t, lambda t=t: seen.append(t))
+        sim.run()
+        assert seen == sorted(times)
+
+
+class TestTimers:
+    def test_cancel_prevents_execution(self):
+        sim = Simulator()
+        fired = []
+        timer = sim.after(5.0, lambda: fired.append(1))
+        timer.cancel()
+        sim.run()
+        assert not fired
+        assert timer.cancelled
+
+    def test_pending_reflects_state(self):
+        sim = Simulator()
+        timer = sim.after(5.0, lambda: None)
+        assert timer.pending
+        sim.run()
+        assert not timer.pending
+
+    def test_cancel_after_fire_is_noop(self):
+        sim = Simulator()
+        fired = []
+        timer = sim.after(1.0, lambda: fired.append(1))
+        sim.run()
+        timer.cancel()
+        assert fired == [1]
+
+
+class TestPeriodic:
+    def test_every_fires_repeatedly(self):
+        sim = Simulator()
+        ticks = []
+        sim.every(10.0, lambda: ticks.append(sim.now))
+        sim.run_until(35.0)
+        assert ticks == [10.0, 20.0, 30.0]
+
+    def test_every_cancel_stops_series(self):
+        sim = Simulator()
+        ticks = []
+        timer = sim.every(10.0, lambda: ticks.append(sim.now))
+        sim.run_until(25.0)
+        timer.cancel()
+        sim.run_until(100.0)
+        assert ticks == [10.0, 20.0]
+
+    def test_every_rejects_bad_interval(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.every(0.0, lambda: None)
+
+
+class TestRunUntil:
+    def test_stops_at_boundary(self):
+        sim = Simulator()
+        fired = []
+        sim.at(5.0, lambda: fired.append("early"))
+        sim.at(15.0, lambda: fired.append("late"))
+        sim.run_until(10.0)
+        assert fired == ["early"]
+        assert sim.now == 10.0
+        sim.run_until(20.0)
+        assert fired == ["early", "late"]
+
+    def test_boundary_inclusive(self):
+        sim = Simulator()
+        fired = []
+        sim.at(10.0, lambda: fired.append(1))
+        sim.run_until(10.0)
+        assert fired == [1]
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.at(float(i), lambda: None)
+        sim.run()
+        assert sim.events_processed == 5
+
+    def test_event_budget_guard(self):
+        sim = Simulator()
+
+        def rearm():
+            sim.after(1.0, rearm)
+
+        sim.after(1.0, rearm)
+        with pytest.raises(SimulationError, match="budget"):
+            sim.run(max_events=100)

@@ -1,0 +1,72 @@
+"""Tests for the CLI entry point."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_list_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_experiment_parses(self):
+        args = build_parser().parse_args(["experiment", "fig8", "--duration", "5"])
+        assert args.name == "fig8"
+        assert args.duration == 5.0
+
+    def test_quickstart_defaults(self):
+        args = build_parser().parse_args(["quickstart"])
+        assert args.duration == 10.0
+        assert args.nodes == 2
+
+
+class TestCommands:
+    def test_list_prints_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7" in out
+        assert "sec77" in out
+
+    def test_unknown_experiment_fails(self, capsys):
+        assert main(["experiment", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_trace_generates_csv(self, capsys, tmp_path):
+        out = tmp_path / "t.csv"
+        code = main(
+            ["trace", str(out), "--duration", "2", "--functions", "Vanilla,LinAlg"]
+        )
+        assert code == 0
+        assert out.exists()
+        header = out.read_text().splitlines()[0]
+        assert header == "arrival_ms,function"
+
+    def test_trace_rejects_unknown_function(self, tmp_path):
+        with pytest.raises(KeyError):
+            main(["trace", str(tmp_path / "t.csv"), "--functions", "Nope"])
+
+    def test_quickstart_runs(self, capsys):
+        code = main(
+            [
+                "quickstart",
+                "--duration",
+                "2",
+                "--seed",
+                "1",
+                "--nodes",
+                "1",
+                "--node-memory-mb",
+                "512",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "medes" in out
+        assert "fixed-ka-10min" in out

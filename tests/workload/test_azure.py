@@ -1,0 +1,103 @@
+"""Tests for the Azure-style trace generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._util import rng_for
+from repro.workload.azure import (
+    AzureTraceGenerator,
+    PatternKind,
+    PatternSpec,
+    sample_arrivals,
+)
+
+
+class TestPatternSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PatternSpec(kind=PatternKind.STEADY, rate_per_min=0)
+        with pytest.raises(ValueError):
+            PatternSpec(kind=PatternKind.PERIODIC, rate_per_min=1, period_min=0)
+
+
+class TestSamplers:
+    @pytest.mark.parametrize("kind", list(PatternKind))
+    def test_arrivals_sorted_and_bounded(self, kind):
+        spec = PatternSpec(kind=kind, rate_per_min=4.0, period_min=5.0)
+        rng = rng_for("azure-test", kind.value)
+        arrivals = sample_arrivals(spec, 30 * 60_000.0, rng)
+        assert (np.diff(arrivals) >= 0).all()
+        if arrivals.size:
+            assert arrivals[0] >= 0
+            assert arrivals[-1] < 30 * 60_000.0
+
+    @pytest.mark.parametrize("kind", list(PatternKind))
+    def test_mean_rate_roughly_matches(self, kind):
+        spec = PatternSpec(kind=kind, rate_per_min=6.0, period_min=4.0)
+        rng = rng_for("azure-rate", kind.value)
+        arrivals = sample_arrivals(spec, 60 * 60_000.0, rng)
+        achieved = arrivals.size / 60.0
+        assert 0.3 * spec.rate_per_min < achieved < 3.0 * spec.rate_per_min
+
+    def test_bursty_is_burstier_than_steady(self):
+        """Squared-CV of inter-arrivals separates the pattern classes."""
+        duration = 120 * 60_000.0
+
+        def cv2(kind):
+            spec = PatternSpec(kind=kind, rate_per_min=5.0)
+            arrivals = sample_arrivals(spec, duration, rng_for("cv", kind.value))
+            gaps = np.diff(arrivals)
+            return float(np.var(gaps) / np.mean(gaps) ** 2)
+
+        assert cv2(PatternKind.BURSTY) > 2.0 * cv2(PatternKind.STEADY)
+
+    def test_periodic_concentrates_on_period(self):
+        spec = PatternSpec(kind=PatternKind.PERIODIC, rate_per_min=0.2, period_min=5.0)
+        arrivals = sample_arrivals(spec, 60 * 60_000.0, rng_for("periodic"))
+        gaps = np.diff(arrivals)
+        long_gaps = gaps[gaps > 60_000.0]
+        assert np.median(long_gaps) == pytest.approx(5 * 60_000.0, rel=0.15)
+
+    def test_zero_duration(self):
+        spec = PatternSpec(kind=PatternKind.STEADY, rate_per_min=5.0)
+        assert sample_arrivals(spec, 0.0, rng_for("zero")).size == 0
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        functions = ("a", "b", "c")
+        first = AzureTraceGenerator(seed=5).generate(10, functions)
+        second = AzureTraceGenerator(seed=5).generate(10, functions)
+        assert [(r.arrival_ms, r.function) for r in first] == [
+            (r.arrival_ms, r.function) for r in second
+        ]
+
+    def test_seed_changes_trace(self):
+        functions = ("a", "b")
+        first = AzureTraceGenerator(seed=1).generate(10, functions)
+        second = AzureTraceGenerator(seed=2).generate(10, functions)
+        assert [(r.arrival_ms, r.function) for r in first] != [
+            (r.arrival_ms, r.function) for r in second
+        ]
+
+    def test_all_functions_present(self):
+        functions = tuple(f"f{i}" for i in range(8))
+        trace = AzureTraceGenerator(seed=3).generate(30, functions)
+        assert set(trace.functions()) == set(functions)
+
+    def test_rate_scale_multiplies_volume(self):
+        functions = ("a", "b", "c", "d")
+        base = AzureTraceGenerator(seed=4, rate_scale=1.0).generate(30, functions)
+        scaled = AzureTraceGenerator(seed=4, rate_scale=5.0).generate(30, functions)
+        assert len(scaled) > 3 * len(base)
+
+    def test_pattern_assignment_cycles(self):
+        generator = AzureTraceGenerator(seed=6)
+        kinds = [generator.pattern_for(f"f{i}", i).kind for i in range(6)]
+        assert len(set(kinds)) >= 3  # a diverse mix
+
+    def test_rejects_bad_duration(self):
+        with pytest.raises(ValueError):
+            AzureTraceGenerator().generate(0, ("a",))

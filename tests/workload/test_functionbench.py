@@ -1,0 +1,118 @@
+"""Tests for the FunctionBench profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro._util import MIB
+from repro.workload.functionbench import (
+    REPRESENTATIVE_SUBSET,
+    FunctionBenchSuite,
+    FunctionProfile,
+)
+from tests.conftest import TEST_SCALE
+
+
+class TestSuiteContents:
+    def test_table2_functions_present(self, suite):
+        expected = {
+            "Vanilla",
+            "LinAlg",
+            "ImagePro",
+            "VideoPro",
+            "MapReduce",
+            "HTMLServe",
+            "AuthEnc",
+            "FeatureGen",
+            "RNNModel",
+            "ModelTrain",
+        }
+        assert set(suite.names()) == expected
+
+    def test_table2_values(self, suite):
+        vanilla = suite.get("Vanilla")
+        assert vanilla.exec_time_ms == 150
+        assert vanilla.memory_mb == 17
+        model_train = suite.get("ModelTrain")
+        assert model_train.exec_time_ms == 3000
+        assert model_train.memory_mb == 87.5
+
+    def test_table1_library_sharing(self, suite):
+        """FeatureGen and ModelTrain share the TfIdfVectorizer module."""
+        feature_gen = set(suite.get("FeatureGen").libraries)
+        model_train = set(suite.get("ModelTrain").libraries)
+        assert "sklearn-tfidf" in feature_gen & model_train
+
+    def test_get_unknown_raises(self, suite):
+        with pytest.raises(KeyError):
+            suite.get("NoSuchFunction")
+
+    def test_subset_preserves_order(self):
+        subset = FunctionBenchSuite.subset(["ModelTrain", "Vanilla"])
+        assert subset.names() == ("ModelTrain", "Vanilla")
+
+    def test_representative_subset(self):
+        assert set(REPRESENTATIVE_SUBSET) == {"LinAlg", "FeatureGen", "ModelTrain"}
+
+    def test_len_and_iter(self, suite):
+        assert len(suite) == 10
+        assert [p.name for p in suite] == list(suite.names())
+
+    def test_duplicate_names_rejected(self, suite):
+        profile = suite.get("Vanilla")
+        with pytest.raises(ValueError):
+            FunctionBenchSuite(profiles=(profile, profile))
+
+
+class TestReplication:
+    def test_replicated_names(self):
+        replicated = FunctionBenchSuite.replicated(["LinAlg"], 3)
+        assert replicated.names() == ("LinAlg", "LinAlg~1", "LinAlg~2")
+
+    def test_replicas_share_environment(self):
+        replicated = FunctionBenchSuite.replicated(["LinAlg"], 2)
+        base, replica = replicated.profiles
+        assert base.libraries == replica.libraries
+        assert base.memory_mb == replica.memory_mb
+
+    def test_replicas_have_private_function_regions(self):
+        replicated = FunctionBenchSuite.replicated(["LinAlg"], 2)
+        base, replica = replicated.profiles
+        base_heap = next(
+            r.content_key for r in base.layout().regions if r.name == "heap"
+        )
+        replica_heap = next(
+            r.content_key for r in replica.layout().regions if r.name == "heap"
+        )
+        assert base_heap != replica_heap
+
+    def test_rejects_zero_copies(self):
+        with pytest.raises(ValueError):
+            FunctionBenchSuite.replicated(["LinAlg"], 0)
+
+
+class TestProfile:
+    def test_memory_bytes(self, linalg_profile):
+        assert linalg_profile.memory_bytes == int(32 * MIB)
+
+    def test_synthesize_scales(self, linalg_profile):
+        image = linalg_profile.synthesize(1, content_scale=TEST_SCALE)
+        assert image.nbytes < linalg_profile.memory_bytes * TEST_SCALE * 2
+
+    def test_synthesize_rejects_bad_scale(self, linalg_profile):
+        with pytest.raises(ValueError):
+            linalg_profile.synthesize(1, content_scale=0.0)
+
+    def test_layout_cached(self, linalg_profile):
+        assert linalg_profile.layout() is linalg_profile.layout()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FunctionProfile(
+                name="Bad",
+                description="",
+                libraries=(),
+                exec_time_ms=0,
+                memory_mb=10,
+                cold_start_ms=100,
+            )

@@ -1,0 +1,101 @@
+"""Tests for trace containers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.workload.trace import Request, Trace
+
+
+def make_trace(arrivals) -> Trace:
+    return Trace.from_arrivals(arrivals)
+
+
+class TestRequest:
+    def test_negative_arrival_rejected(self):
+        with pytest.raises(ValueError):
+            Request(request_id=0, function="f", arrival_ms=-1.0)
+
+
+class TestTraceConstruction:
+    def test_from_arrivals_sorts(self):
+        trace = make_trace([(50.0, "b"), (10.0, "a")])
+        assert [r.arrival_ms for r in trace] == [10.0, 50.0]
+        assert [r.function for r in trace] == ["a", "b"]
+
+    def test_ids_sequential(self):
+        trace = make_trace([(5.0, "a"), (1.0, "b"), (3.0, "c")])
+        assert [r.request_id for r in trace] == [0, 1, 2]
+
+    def test_unsorted_direct_construction_rejected(self):
+        with pytest.raises(ValueError, match="sorted"):
+            Trace(
+                requests=(
+                    Request(request_id=0, function="a", arrival_ms=10.0),
+                    Request(request_id=1, function="a", arrival_ms=5.0),
+                )
+            )
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Trace(
+                requests=(
+                    Request(request_id=0, function="a", arrival_ms=1.0),
+                    Request(request_id=0, function="a", arrival_ms=2.0),
+                )
+            )
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=1e6),
+                st.sampled_from(["a", "b", "c"]),
+            ),
+            max_size=50,
+        )
+    )
+    def test_from_arrivals_always_valid(self, arrivals):
+        trace = make_trace(arrivals)
+        times = [r.arrival_ms for r in trace]
+        assert times == sorted(times)
+        assert len(trace) == len(arrivals)
+
+
+class TestTraceQueries:
+    @pytest.fixture
+    def trace(self) -> Trace:
+        return make_trace(
+            [(0.0, "a"), (100.0, "b"), (200.0, "a"), (300.0, "c"), (400.0, "a")]
+        )
+
+    def test_duration(self, trace):
+        assert trace.duration_ms == 400.0
+        assert make_trace([]).duration_ms == 0.0
+
+    def test_functions_first_arrival_order(self, trace):
+        assert trace.functions() == ("a", "b", "c")
+
+    def test_count_by_function(self, trace):
+        assert trace.count_by_function() == {"a": 3, "b": 1, "c": 1}
+
+    def test_window(self, trace):
+        window = trace.window(100.0, 300.0)
+        assert [r.function for r in window] == ["b", "a"]
+        assert window.requests[0].arrival_ms == 0.0  # re-based
+
+    def test_restrict(self, trace):
+        restricted = trace.restrict({"a"})
+        assert restricted.count_by_function() == {"a": 3}
+
+    def test_merged_with(self, trace):
+        other = make_trace([(50.0, "z")])
+        merged = trace.merged_with(other)
+        assert len(merged) == 6
+        assert merged.functions()[0] == "a"
+
+    def test_mean_rate(self, trace):
+        # 5 requests over 0.4 s.
+        assert trace.mean_rate_per_s() == pytest.approx(5 / 0.4)
+        assert trace.mean_rate_per_s("a") == pytest.approx(3 / 0.4)

@@ -1,0 +1,72 @@
+"""Tests for trace CSV import/export."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workload.azure import AzureTraceGenerator
+from repro.workload.trace import Trace
+from repro.workload.trace_io import dump_trace, dumps_trace, load_trace, loads_trace
+
+
+@pytest.fixture
+def trace() -> Trace:
+    return Trace.from_arrivals([(0.0, "a"), (125.5, "b"), (318.25, "a")])
+
+
+class TestRoundTrip:
+    def test_string_round_trip(self, trace):
+        loaded = loads_trace(dumps_trace(trace))
+        assert [(r.arrival_ms, r.function) for r in loaded] == [
+            (r.arrival_ms, r.function) for r in trace
+        ]
+
+    def test_file_round_trip(self, trace, tmp_path):
+        path = tmp_path / "trace.csv"
+        dump_trace(trace, path)
+        loaded = load_trace(path)
+        assert len(loaded) == len(trace)
+        assert loaded.functions() == trace.functions()
+
+    def test_generated_trace_round_trips(self, tmp_path):
+        generated = AzureTraceGenerator(seed=3).generate(5, ("x", "y", "z"))
+        path = tmp_path / "azure.csv"
+        dump_trace(generated, path)
+        loaded = load_trace(path)
+        assert len(loaded) == len(generated)
+        assert loaded.count_by_function() == generated.count_by_function()
+
+    def test_unsorted_input_sorted_on_load(self):
+        text = "arrival_ms,function\n500,late\n10,early\n"
+        loaded = loads_trace(text)
+        assert [r.function for r in loaded] == ["early", "late"]
+
+
+class TestValidation:
+    def test_bad_header(self):
+        with pytest.raises(ValueError, match="header"):
+            loads_trace("time,fn\n1,a\n")
+
+    def test_bad_arrival(self):
+        with pytest.raises(ValueError, match="bad arrival"):
+            loads_trace("arrival_ms,function\nnot-a-number,a\n")
+
+    def test_negative_arrival(self):
+        with pytest.raises(ValueError, match="negative"):
+            loads_trace("arrival_ms,function\n-5,a\n")
+
+    def test_empty_function(self):
+        with pytest.raises(ValueError, match="empty function"):
+            loads_trace("arrival_ms,function\n5,\n")
+
+    def test_wrong_column_count(self):
+        with pytest.raises(ValueError, match="2 columns"):
+            loads_trace("arrival_ms,function\n5,a,extra\n")
+
+    def test_empty_file(self):
+        assert len(loads_trace("")) == 0
+        assert len(loads_trace("arrival_ms,function\n")) == 0
+
+    def test_blank_lines_skipped(self):
+        loaded = loads_trace("arrival_ms,function\n1,a\n\n2,b\n")
+        assert len(loaded) == 2
