@@ -9,7 +9,8 @@ process and is never used for seeding).
 from __future__ import annotations
 
 import hashlib
-from typing import Iterable
+from collections import OrderedDict
+from typing import Generic, Hashable, Iterable, TypeVar
 
 import numpy as np
 
@@ -49,6 +50,52 @@ def hash_bytes(data: bytes, bits: int = 64) -> int:
         raise ValueError(f"bits must be in [1, 160], got {bits}")
     full = int.from_bytes(hashlib.sha1(data).digest(), "little")
     return full & ((1 << bits) - 1)
+
+
+_K = TypeVar("_K", bound=Hashable)
+_V = TypeVar("_V")
+
+
+class LruCache(Generic[_K, _V]):
+    """A small bounded mapping with least-recently-used eviction.
+
+    Used by the dedup agent to keep decoded base pages hot across ops on
+    a node (the same base pages are re-read constantly).  ``get`` marks
+    an entry most-recently-used; inserting past ``capacity`` evicts the
+    oldest entry.  Hit/miss counters support overhead reporting.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._entries: OrderedDict[_K, _V] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: _K) -> _V | None:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: _K, value: _V) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: _K) -> bool:
+        return key in self._entries
 
 
 def round_up(value: int, multiple: int) -> int:

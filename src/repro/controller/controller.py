@@ -27,9 +27,10 @@ from repro.core.agent import DedupAgent
 from repro.core.basemgr import BaseSandboxManager
 from repro.core.policy import ClusterView, Decision, FunctionStats, LifecyclePolicy
 from repro.core.registry import FingerprintRegistry, PageRef
-from repro.memory.fingerprint import page_fingerprint
+from repro.memory.fingerprint import batch_page_fingerprints
 from repro.platform.config import ClusterConfig
 from repro.platform.metrics import (
+    BaseOpRecord,
     DedupOpRecord,
     RequestRecord,
     RestoreOpRecord,
@@ -49,6 +50,10 @@ from repro._util import rng_for
 
 #: A queued request older than this may evict unpinned base sandboxes.
 STARVATION_MS = 5_000.0
+
+#: Sentinel ``busy_request_id`` marking a sandbox mid-base-demarcation
+#: (checkpoint + registry registration); real request ids are >= 0.
+_BASE_OP_BUSY = -1
 
 
 @dataclass
@@ -219,12 +224,13 @@ class ClusterController:
             for s in sandboxes.values()
             if s.state is SandboxState.DEDUP and s.busy_request_id is None
         ]
-        if dedup_candidates:
-            sandbox = max(dedup_candidates, key=lambda s: (s.last_used_at, s.sandbox_id))
+        dedup_candidates.sort(key=lambda s: (s.last_used_at, s.sandbox_id), reverse=True)
+        for sandbox in dedup_candidates:
             if self._start_dedup(sandbox, request, record):
                 return True
-            # Base pages unreachable (node failure): the dedup sandbox
-            # was purged; fall through to the remaining options.
+            # That candidate's base pages were unreachable (node
+            # failure) and it was purged; try the next intact dedup
+            # sandbox before falling through to the remaining options.
 
         # A sandbox mid-dedup is cheaper to reclaim than a cold start:
         # abort the (background) dedup op and serve the request warm.
@@ -527,7 +533,16 @@ class ClusterController:
     # -------------------------------------------------------------- dedup
 
     def _make_base(self, sandbox: Sandbox) -> None:
-        """Demarcate a warm sandbox as a base (Section 4.1.3)."""
+        """Demarcate a warm sandbox as a base (Section 4.1.3).
+
+        Checkpointing the image and registering every page's fingerprint
+        take real time (``CostModel.checkpoint_ms`` / ``register_ms``);
+        the sandbox is marked busy for that duration, so it cannot serve
+        requests or re-enter the idle machinery mid-demarcation.  The
+        registry contents become visible immediately — the simulation
+        collapses the op's effect to its start, like the dedup op does —
+        but the time is charged and surfaced in ``metrics.base_ops``.
+        """
         self._ensure_image(sandbox)
         assert sandbox.image is not None
         node = self.nodes[sandbox.node_id]
@@ -540,15 +555,39 @@ class ClusterController:
         )
         self.basemgr.add_base(checkpoint)
         node.pin_checkpoint(checkpoint)
-        fingerprint_config = self.agents[sandbox.node_id].fingerprint_config
-        for index in range(checkpoint.image.num_pages):
+        agent = self.agents[sandbox.node_id]
+        image = checkpoint.image
+        fingerprints = batch_page_fingerprints(
+            image.data, image.page_size, agent.fingerprint_config
+        )
+        for index, fingerprint in enumerate(fingerprints):
             self.registry.register_page(
-                PageRef(checkpoint.checkpoint_id, sandbox.node_id, index),
-                page_fingerprint(checkpoint.image.page(index), fingerprint_config),
+                PageRef(checkpoint.checkpoint_id, sandbox.node_id, index), fingerprint
             )
         sandbox.is_base = True
         sandbox.base_checkpoint_id = checkpoint.checkpoint_id
         self.metrics.bases_created += 1
+
+        costs = self.config.costs
+        full_pages = max(1, round(image.num_pages / self.config.content_scale))
+        record = BaseOpRecord(
+            function=sandbox.function,
+            sandbox_id=sandbox.sandbox_id,
+            started_ms=self.sim.now,
+            checkpoint_ms=costs.checkpoint_ms(full_pages),
+            register_ms=costs.register_ms(full_pages),
+        )
+        self.metrics.base_ops.append(record)
+        sandbox.busy_request_id = _BASE_OP_BUSY
+
+        def finish_base_op() -> None:
+            if sandbox.busy_request_id != _BASE_OP_BUSY:
+                return  # purged (or otherwise reclaimed) mid-demarcation
+            sandbox.busy_request_id = None
+            if sandbox.state is SandboxState.WARM:
+                self._arm_idle_timers(sandbox)
+
+        self.sim.after(record.total_ms, finish_base_op)
 
     def _abort_dedup(self, sandbox: Sandbox) -> None:
         """Cancel an in-flight dedup op and return the sandbox to warm.
@@ -642,6 +681,19 @@ class ClusterController:
             return  # nested eviction may race a stale candidate list
         self._timers_for(sandbox).cancel_all()
         self._timers.pop(sandbox.sandbox_id, None)
+        pending = self._pending_dedups.pop(sandbox.sandbox_id, None)
+        if pending is not None:
+            # Mid-dedup purge: the completion timer lives outside
+            # _SandboxTimers and the op already acquired base refcounts;
+            # cancel and roll back so the stale finish_dedup never fires
+            # on a purged sandbox and the base checkpoints can retire.
+            timer, outcome = pending
+            timer.cancel()
+            self._release_base_refs(outcome.table)
+            if sandbox.state is SandboxState.DEDUPING:
+                # Figure 4b has no DEDUPING -> PURGED edge; the aborted
+                # op leaves the warm image intact, so exit via WARM.
+                sandbox.transition(SandboxState.WARM, self.sim.now)
         if sandbox.state is SandboxState.DEDUP:
             assert sandbox.dedup_table is not None
             self._release_base_refs(sandbox.dedup_table)

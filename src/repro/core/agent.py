@@ -10,6 +10,17 @@ zero pages collapse to a marker.  The resulting
 is all that remains in memory, and it is stored *locally* on the
 sandbox's node so restores never touch the controller (Section 4.2).
 
+Two implementations of the dedup op exist.  :meth:`DedupAgent.dedup` is
+the **batched pipeline**: zero pages are classified with one vectorized
+reduction, one marker scan fingerprints the whole image, one registry
+round-trip (``choose_base_pages``) serves every page, and base-page
+fetches are grouped by checkpoint through a per-agent LRU cache of
+decoded base pages (the same base pages are re-read constantly across
+ops on a node).  :meth:`DedupAgent.dedup_reference` is the page-at-a-time
+reference implementation; property tests assert both produce identical
+page tables, and ``benchmarks/bench_dedup_throughput.py`` tracks the
+pages/sec gap.
+
 The **restore op** reverses it: base pages are fetched (one-sided RDMA
 for remote ones, batched per peer), patches are applied to recompute the
 original pages, and the checkpoint is resumed.  The returned image is
@@ -22,17 +33,30 @@ operations run on scaled images (see the cost model's docstring).
 from __future__ import annotations
 
 import enum
-from collections import Counter
+from collections import Counter, defaultdict
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro._util import LruCache
 from repro.core.costs import CostModel
 from repro.core.registry import FingerprintRegistry, PageRef
-from repro.memory.fingerprint import FingerprintConfig, page_fingerprint
+from repro.memory.fingerprint import (
+    FingerprintConfig,
+    batch_page_fingerprints,
+    nonzero_page_mask,
+    page_fingerprint,
+)
 from repro.memory.image import MemoryImage
-from repro.memory.patch import Patch, apply_patch, compute_patch
-from repro.sandbox.checkpoint import CheckpointStore
+from repro.memory.patch import (
+    AnchorIndex,
+    Patch,
+    apply_patch,
+    build_anchor_index,
+    compute_patch_reference,
+    compute_patches,
+)
+from repro.sandbox.checkpoint import BaseCheckpoint, CheckpointStore
 from repro.sandbox.sandbox import Sandbox
 from repro.sim.network import RdmaFabric
 
@@ -43,6 +67,18 @@ METADATA_BYTES_PER_PAGE = 40
 #: A patch larger than this fraction of the page is not worth keeping;
 #: the page is stored unique instead.
 UNIQUE_THRESHOLD = 0.75
+
+#: Default capacity (in pages) of the per-agent LRU cache of decoded
+#: base pages.  4096 entries of 4 KiB pages bound the cache at 16 MiB
+#: full-scale — small next to one sandbox, decisive for dedup
+#: throughput because base pages repeat across ops on a node.
+BASE_PAGE_CACHE_PAGES = 4096
+
+#: Default capacity of the per-agent LRU cache of prebuilt anchor
+#: indexes.  Building the index is the expensive half of anchor-matching
+#: a page against its base, and the same hot base pages are patched
+#: against over and over across dedup ops on a node.
+ANCHOR_INDEX_CACHE_PAGES = 1024
 
 
 class PageKind(enum.Enum):
@@ -199,6 +235,8 @@ class DedupAgent:
         fingerprint_config: FingerprintConfig | None = None,
         patch_level: int = 1,
         unique_threshold: float = UNIQUE_THRESHOLD,
+        base_page_cache_pages: int = BASE_PAGE_CACHE_PAGES,
+        anchor_index_cache_pages: int = ANCHOR_INDEX_CACHE_PAGES,
     ):
         if not 0 < content_scale <= 1:
             raise ValueError("content_scale must be in (0, 1]")
@@ -213,19 +251,165 @@ class DedupAgent:
         self.unique_threshold = unique_threshold
         self.dedup_ops = 0
         self.restore_ops = 0
+        # Decoded base pages keyed by (checkpoint_id, page_index).
+        # Checkpoint ids are never reused, so a retired checkpoint's
+        # entries can only waste capacity until LRU evicts them — they
+        # can never serve stale content.
+        self.base_page_cache: LruCache[tuple[int, int], bytes] = LruCache(
+            base_page_cache_pages
+        )
+        # Prebuilt anchor indexes keyed by (checkpoint_id, page_index);
+        # same staleness argument as the page cache above.
+        self.anchor_index_cache: LruCache[tuple[int, int], AnchorIndex] = LruCache(
+            anchor_index_cache_pages
+        )
 
     # ---------------------------------------------------------------- dedup
 
     def _full_pages(self, pages: int) -> int:
         return max(1, round(pages / self.content_scale))
 
+    def _base_page_bytes(self, checkpoint: BaseCheckpoint, page_index: int) -> bytes:
+        """A base page's content through the per-agent LRU cache."""
+        key = (checkpoint.checkpoint_id, page_index)
+        cached = self.base_page_cache.get(key)
+        if cached is None:
+            cached = checkpoint.page_bytes(page_index)
+            self.base_page_cache.put(key, cached)
+        return cached
+
     def dedup(self, sandbox: Sandbox) -> DedupOutcome:
-        """Run the dedup op on a warm sandbox's image.
+        """Run the dedup op on a warm sandbox's image (batched pipeline).
+
+        One vectorized pass classifies zero pages, one marker scan
+        fingerprints every nonzero page, one registry round-trip picks
+        every base page, and base-page fetches are grouped by checkpoint
+        through the agent's LRU cache.  Produces a page table identical
+        to :meth:`dedup_reference` (property-tested).
 
         Side effects: acquires refcounts on every base checkpoint the new
         page table references.  The caller (controller) is responsible
         for swapping the sandbox's image for the returned table and for
         the corresponding lifecycle transitions.
+        """
+        image = sandbox.image
+        if image is None:
+            raise RuntimeError(f"sandbox {sandbox.sandbox_id} has no image to dedup")
+
+        page_size = image.page_size
+        data = image.data
+        unique_cap = int(self.unique_threshold * page_size)
+        base_refs: Counter[int] = Counter()
+        reads_by_peer: Counter[int] = Counter()
+        unique_pages = patched_pages = 0
+        same_fn = cross_fn = 0
+
+        nonzero = nonzero_page_mask(data, page_size)
+        nonzero_indices = np.flatnonzero(nonzero)
+        zero_pages = image.num_pages - int(nonzero_indices.size)
+        saved = zero_pages * page_size
+        zero_entry = PageEntry(kind=PageKind.ZERO)
+        entries: list[PageEntry | None] = [
+            None if nz else zero_entry for nz in nonzero
+        ]
+
+        def keep_unique(index: int) -> None:
+            nonlocal unique_pages
+            start = index * page_size
+            entries[index] = PageEntry(
+                kind=PageKind.UNIQUE, raw=data[start : start + page_size].tobytes()
+            )
+            unique_pages += 1
+
+        fingerprints = batch_page_fingerprints(
+            data, page_size, self.fingerprint_config, pages=nonzero_indices
+        )
+        choices = self.registry.choose_base_pages(fingerprints, self.node_id)
+
+        # Classify pages, deferring base-page content to a grouped fetch.
+        chosen: list[tuple[int, PageRef]] = []
+        for index, choice in zip(nonzero_indices.tolist(), choices):
+            if choice is None:
+                keep_unique(index)
+                continue
+            ref, _overlap = choice
+            if ref.node_id != self.node_id and not self.fabric.peer_available(ref.node_id):
+                # The base's node is unreachable: keep the page unique
+                # rather than depend on state we cannot read back.
+                keep_unique(index)
+                continue
+            reads_by_peer[ref.node_id] += 1
+            chosen.append((index, ref))
+
+        # One checkpoint resolution per distinct base checkpoint; page
+        # content flows through the LRU cache.
+        by_checkpoint: dict[int, list[tuple[int, PageRef]]] = defaultdict(list)
+        for index, ref in chosen:
+            by_checkpoint[ref.checkpoint_id].append((index, ref))
+        base_pages: dict[int, bytes] = {}
+        checkpoint_functions: dict[int, str] = {}
+        for checkpoint_id, group in by_checkpoint.items():
+            checkpoint = self.store.get(checkpoint_id)
+            checkpoint_functions[checkpoint_id] = checkpoint.function
+            for index, ref in group:
+                base_pages[index] = self._base_page_bytes(checkpoint, ref.page_index)
+
+        # Patch every chosen page in one batched pass: the aligned diff
+        # runs as a single 2-D numpy operation over the whole batch, and
+        # pages falling back to anchor matching reuse cached base-page
+        # anchor indexes (built lazily, only when a fallback needs one).
+        targets = [
+            data[index * page_size : (index + 1) * page_size] for index, _ in chosen
+        ]
+        bases = [base_pages[index] for index, _ in chosen]
+
+        def anchor_index_for(j: int) -> AnchorIndex:
+            ref = chosen[j][1]
+            key = (ref.checkpoint_id, ref.page_index)
+            cached = self.anchor_index_cache.get(key)
+            if cached is None:
+                cached = build_anchor_index(bases[j], self.patch_level)
+                self.anchor_index_cache.put(key, cached)
+            return cached
+
+        patches = compute_patches(
+            targets, bases, level=self.patch_level, index_provider=anchor_index_for
+        )
+        for (index, ref), patch in zip(chosen, patches):
+            if patch.size_bytes >= unique_cap:
+                keep_unique(index)
+                continue
+            entries[index] = PageEntry(kind=PageKind.PATCHED, base=ref, patch=patch)
+            patched_pages += 1
+            saved += page_size - patch.size_bytes
+            base_refs[ref.checkpoint_id] += 1
+            if checkpoint_functions[ref.checkpoint_id] == sandbox.function:
+                same_fn += 1
+            else:
+                cross_fn += 1
+
+        assert all(entry is not None for entry in entries)
+        return self._finish_dedup(
+            sandbox,
+            image,
+            entries,  # type: ignore[arg-type]
+            base_refs=base_refs,
+            reads_by_peer=reads_by_peer,
+            zero_pages=zero_pages,
+            unique_pages=unique_pages,
+            patched_pages=patched_pages,
+            same_fn=same_fn,
+            cross_fn=cross_fn,
+            saved=saved,
+        )
+
+    def dedup_reference(self, sandbox: Sandbox) -> DedupOutcome:
+        """The page-at-a-time dedup op (reference implementation).
+
+        Semantically identical to :meth:`dedup` — per-page fingerprints,
+        per-page registry calls, per-page base fetches straight from the
+        store — kept as the ground truth the batched pipeline is
+        property-tested against, and as the benchmark baseline.
         """
         image = sandbox.image
         if image is None:
@@ -262,7 +446,7 @@ class DedupAgent:
                 continue
             reads_by_peer[ref.node_id] += 1
             base_page = self.store.get(ref.checkpoint_id).page_bytes(ref.page_index)
-            patch = compute_patch(page, base_page, level=self.patch_level)
+            patch = compute_patch_reference(page, base_page, level=self.patch_level)
             if patch.size_bytes >= unique_cap:
                 entries.append(PageEntry(kind=PageKind.UNIQUE, raw=page.tobytes()))
                 unique_pages += 1
@@ -276,6 +460,36 @@ class DedupAgent:
             else:
                 cross_fn += 1
 
+        return self._finish_dedup(
+            sandbox,
+            image,
+            entries,
+            base_refs=base_refs,
+            reads_by_peer=reads_by_peer,
+            zero_pages=zero_pages,
+            unique_pages=unique_pages,
+            patched_pages=patched_pages,
+            same_fn=same_fn,
+            cross_fn=cross_fn,
+            saved=saved,
+        )
+
+    def _finish_dedup(
+        self,
+        sandbox: Sandbox,
+        image: MemoryImage,
+        entries: list[PageEntry],
+        *,
+        base_refs: Counter[int],
+        reads_by_peer: Counter[int],
+        zero_pages: int,
+        unique_pages: int,
+        patched_pages: int,
+        same_fn: int,
+        cross_fn: int,
+        saved: int,
+    ) -> DedupOutcome:
+        """Shared tail of both dedup paths: refcounts, table, timings."""
         for checkpoint_id, count in base_refs.items():
             self.store.get(checkpoint_id).acquire(count)
 
@@ -292,7 +506,7 @@ class DedupAgent:
         table = DedupPageTable(
             function=sandbox.function,
             instance_seed=image.instance_seed,
-            page_size=page_size,
+            page_size=image.page_size,
             content_scale=self.content_scale,
             aslr=image.aslr,
             regions=image.regions,
@@ -306,7 +520,7 @@ class DedupAgent:
         full_pages = self._full_pages(image.num_pages)
         scale_up = full_pages / max(1, image.num_pages)
         read_plan = {
-            peer: (int(count * scale_up), int(count * scale_up) * page_size)
+            peer: (int(count * scale_up), int(count * scale_up) * image.page_size)
             for peer, count in reads_by_peer.items()
         }
         timings = DedupTimings(
@@ -326,17 +540,23 @@ class DedupAgent:
     def restore(self, table: DedupPageTable, *, verify: bool = False) -> RestoreOutcome:
         """Run the restore op: rebuild the original image from the table.
 
+        Base-page fetches are grouped by checkpoint and served through
+        the agent's LRU cache; the output buffer starts zeroed so zero
+        pages cost nothing to materialize.
+
         Does *not* release base refcounts — the controller does that once
         the sandbox is warm again (the base pages must stay pinned until
         the restore completes).
         """
         page_size = table.page_size
         reads_by_peer: Counter[int] = Counter()
+        by_checkpoint: dict[int, list[int]] = defaultdict(list)
         patched = 0
-        for entry in table.entries:
+        for index, entry in enumerate(table.entries):
             if entry.kind is PageKind.PATCHED:
                 assert entry.base is not None
                 reads_by_peer[entry.base.node_id] += 1
+                by_checkpoint[entry.base.checkpoint_id].append(index)
                 patched += 1
 
         # Fetch the base pages first: an unreachable peer raises
@@ -350,22 +570,27 @@ class DedupAgent:
         }
         base_read_ms = self.fabric.batch_read_ms(read_plan, local_peer=self.node_id)
 
-        pages: list[np.ndarray] = []
-        for entry in table.entries:
-            if entry.kind is PageKind.ZERO:
-                pages.append(np.zeros(page_size, dtype=np.uint8))
-            elif entry.kind is PageKind.UNIQUE:
+        # Zero-initialized buffer: zero pages are already materialized.
+        data = np.zeros(len(table.entries) * page_size, dtype=np.uint8)
+        for index, entry in enumerate(table.entries):
+            if entry.kind is PageKind.UNIQUE:
                 assert entry.raw is not None
-                pages.append(np.frombuffer(entry.raw, dtype=np.uint8))
-            else:
-                assert entry.base is not None and entry.patch is not None
-                base_page = self.store.get(entry.base.checkpoint_id).page_bytes(
-                    entry.base.page_index
+                start = index * page_size
+                data[start : start + len(entry.raw)] = np.frombuffer(
+                    entry.raw, dtype=np.uint8
                 )
+        for checkpoint_id, indices in by_checkpoint.items():
+            checkpoint = self.store.get(checkpoint_id)
+            for index in indices:
+                entry = table.entries[index]
+                assert entry.base is not None and entry.patch is not None
+                base_page = self._base_page_bytes(checkpoint, entry.base.page_index)
                 original = apply_patch(entry.patch, base_page)
-                pages.append(np.frombuffer(original, dtype=np.uint8))
+                start = index * page_size
+                data[start : start + len(original)] = np.frombuffer(
+                    original, dtype=np.uint8
+                )
 
-        data = np.concatenate(pages) if pages else np.zeros(0, dtype=np.uint8)
         image = MemoryImage(
             function=table.function,
             instance_seed=table.instance_seed,

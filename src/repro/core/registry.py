@@ -10,12 +10,28 @@ the registry returns candidate base pages scored by how many of the
 sampled chunks they share; the dedup agent picks the best candidate
 (ties prefer pages local to the requesting node) as the page's *base
 page* (Section 4.1.2).
+
+Two API tiers exist:
+
+* per-page (``register_page`` / ``lookup`` / ``choose_base_page``) — the
+  reference path, one call per page;
+* batch (``register_pages`` / ``lookup_batch`` / ``choose_base_pages``)
+  — one call per *image*, modelling a single controller round-trip.
+  The sharded registry additionally groups a batch's digests per shard
+  before fanning out, so each shard is visited once per image rather
+  than once per digest.
+
+Stats discipline: page-level counters (``pages_registered``,
+``page_lookups``, ``hits``) count *pages*, digest-level counters count
+digests — on both registry variants, so the sharding ablation compares
+like with like.
 """
 
 from __future__ import annotations
 
 from collections import Counter, defaultdict
 from dataclasses import dataclass
+from typing import Iterable, Sequence
 
 from repro.memory.fingerprint import FingerprintConfig, PageFingerprint
 
@@ -33,6 +49,16 @@ class PageRef:
     node_id: int
     page_index: int
 
+    def __post_init__(self) -> None:
+        # Refs are hashed constantly (bucket membership, candidate
+        # counting); precomputing beats re-tupling the fields each time.
+        object.__setattr__(
+            self, "_hash", hash((self.checkpoint_id, self.node_id, self.page_index))
+        )
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
+
 
 @dataclass
 class RegistryStats:
@@ -43,6 +69,36 @@ class RegistryStats:
     page_lookups: int = 0
     digest_lookups: int = 0
     hits: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of page lookups that found at least one candidate."""
+        if self.page_lookups == 0:
+            return 0.0
+        return self.hits / self.page_lookups
+
+
+def _best_candidate(
+    counts: Counter[PageRef], local_node_id: int
+) -> tuple[PageRef, int] | None:
+    """Selection rule shared by every registry variant.
+
+    The candidate with the maximum sampled-chunk overlap wins; among
+    equals, a page local to ``local_node_id`` is preferred (avoiding a
+    remote read), then the lowest address for determinism.
+    """
+    if not counts:
+        return None
+    best = min(
+        counts.items(),
+        key=lambda item: (
+            -item[1],
+            item[0].node_id != local_node_id,
+            item[0].checkpoint_id,
+            item[0].page_index,
+        ),
+    )
+    return best[0], best[1]
 
 
 class FingerprintRegistry:
@@ -62,21 +118,51 @@ class FingerprintRegistry:
         self._by_checkpoint: dict[int, list[tuple[int, PageRef]]] = defaultdict(list)
         self.stats = RegistryStats()
 
+    # ------------------------------------------------------- digest level
+    # These update only digest-level counters; page-level accounting is
+    # the caller's job (this registry's page APIs, or a sharding front
+    # end that must count each page exactly once across shards).
+
+    def register_digest(self, ref: PageRef, digest: int) -> int:
+        """Insert one digest of a base page; returns 1 if stored."""
+        bucket = self._buckets[digest]
+        if ref in bucket or len(bucket) >= self.max_refs_per_digest:
+            return 0
+        bucket.append(ref)
+        self._by_checkpoint[ref.checkpoint_id].append((digest, ref))
+        self.stats.digests_registered += 1
+        return 1
+
+    def resolve_digests(
+        self, digests: Iterable[int]
+    ) -> dict[int, tuple[PageRef, ...]]:
+        """Bucket contents for each digest (digest-level lookup)."""
+        result: dict[int, tuple[PageRef, ...]] = {}
+        for digest in digests:
+            self.stats.digest_lookups += 1
+            result[digest] = tuple(self._buckets.get(digest, ()))
+        return result
+
+    # --------------------------------------------------------- page level
+
     def register_page(self, ref: PageRef, fingerprint: PageFingerprint) -> int:
         """Insert a base page's sampled digests; returns digests stored."""
         stored = 0
         for digest in fingerprint.digest_set:
-            bucket = self._buckets[digest]
-            if ref in bucket:
-                continue
-            if len(bucket) >= self.max_refs_per_digest:
-                continue
-            bucket.append(ref)
-            self._by_checkpoint[ref.checkpoint_id].append((digest, ref))
-            stored += 1
+            stored += self.register_digest(ref, digest)
         self.stats.pages_registered += 1
-        self.stats.digests_registered += stored
         return stored
+
+    def register_pages(
+        self, refs: Sequence[PageRef], fingerprints: Sequence[PageFingerprint]
+    ) -> int:
+        """Batch insert (one controller round-trip per image)."""
+        if len(refs) != len(fingerprints):
+            raise ValueError("refs/fingerprints length mismatch")
+        return sum(
+            self.register_page(ref, fingerprint)
+            for ref, fingerprint in zip(refs, fingerprints)
+        )
 
     def deregister_checkpoint(self, checkpoint_id: int) -> int:
         """Remove every digest of a retired base checkpoint."""
@@ -96,15 +182,29 @@ class FingerprintRegistry:
 
     def lookup(self, fingerprint: PageFingerprint) -> Counter[PageRef]:
         """Candidate base pages scored by sampled-chunk overlap."""
-        self.stats.page_lookups += 1
+        stats = self.stats
+        stats.page_lookups += 1
+        digest_set = fingerprint.digest_set
+        stats.digest_lookups += len(digest_set)
         counts: Counter[PageRef] = Counter()
-        for digest in fingerprint.digest_set:
-            self.stats.digest_lookups += 1
-            for ref in self._buckets.get(digest, ()):
-                counts[ref] += 1
+        buckets_get = self._buckets.get
+        for digest in digest_set:
+            bucket = buckets_get(digest)
+            if bucket:
+                counts.update(bucket)
         if counts:
-            self.stats.hits += 1
+            stats.hits += 1
         return counts
+
+    def lookup_batch(
+        self, fingerprints: Sequence[PageFingerprint]
+    ) -> list[Counter[PageRef]]:
+        """Candidates for a whole image's pages in one round-trip.
+
+        Page- and digest-level stats advance exactly as the equivalent
+        sequence of per-page :meth:`lookup` calls would.
+        """
+        return [self.lookup(fingerprint) for fingerprint in fingerprints]
 
     def choose_base_page(
         self,
@@ -113,24 +213,20 @@ class FingerprintRegistry:
     ) -> tuple[PageRef, int] | None:
         """Pick the best base page for a dedup candidate page.
 
-        The candidate with the maximum sampled-chunk overlap wins; among
-        equals, a page local to ``local_node_id`` is preferred (avoiding
-        a remote read), then the lowest address for determinism.
         Returns ``(ref, overlap)`` or None when no candidate exists.
         """
-        counts = self.lookup(fingerprint)
-        if not counts:
-            return None
-        best = min(
-            counts.items(),
-            key=lambda item: (
-                -item[1],
-                item[0].node_id != local_node_id,
-                item[0].checkpoint_id,
-                item[0].page_index,
-            ),
-        )
-        return best[0], best[1]
+        return _best_candidate(self.lookup(fingerprint), local_node_id)
+
+    def choose_base_pages(
+        self,
+        fingerprints: Sequence[PageFingerprint],
+        local_node_id: int,
+    ) -> list[tuple[PageRef, int] | None]:
+        """Batch :meth:`choose_base_page` — one result per fingerprint."""
+        return [
+            _best_candidate(counts, local_node_id)
+            for counts in self.lookup_batch(fingerprints)
+        ]
 
     @property
     def digest_count(self) -> int:
@@ -160,9 +256,15 @@ class ShardedFingerprintRegistry:
     controller nodes; chain replication provides fault tolerance.  This
     class is API-compatible with :class:`FingerprintRegistry`: each
     digest routes to ``shard_for(digest)``; page-level operations fan
-    out and merge.  ``replication`` models the chain length — inserts
-    are charged to every replica (for overhead accounting) while reads
-    are served by the tail.
+    out and merge, and the batch APIs group a whole image's digests per
+    shard so each shard is visited once per batch.  ``replication``
+    models the chain length — inserts are charged to every replica (for
+    overhead accounting) while reads are served by the tail.
+
+    Page-level stats (pages registered / page lookups / hits) are kept
+    by this front end — counting each page exactly once regardless of
+    how many shards its digests span — while digest-level stats live in
+    the shards; :attr:`stats` merges the two views.
     """
 
     def __init__(
@@ -184,28 +286,75 @@ class ShardedFingerprintRegistry:
             FingerprintRegistry(self.config, max_refs_per_digest=max_refs_per_digest)
             for _ in range(n_shards)
         ]
+        self._page_stats = RegistryStats()
 
     def shard_for(self, digest: int) -> int:
         return digest % self.n_shards
 
+    # --------------------------------------------------------- page level
+
     def register_page(self, ref: PageRef, fingerprint: PageFingerprint) -> int:
         stored = 0
         for digest in fingerprint.digest_set:
-            shard = self.shards[self.shard_for(digest)]
-            partial = PageFingerprint(digests=(digest,), offsets=(0,))
-            stored += shard.register_page(ref, partial)
+            stored += self.shards[self.shard_for(digest)].register_digest(ref, digest)
+        self._page_stats.pages_registered += 1
         return stored
+
+    def register_pages(
+        self, refs: Sequence[PageRef], fingerprints: Sequence[PageFingerprint]
+    ) -> int:
+        if len(refs) != len(fingerprints):
+            raise ValueError("refs/fingerprints length mismatch")
+        return sum(
+            self.register_page(ref, fingerprint)
+            for ref, fingerprint in zip(refs, fingerprints)
+        )
 
     def deregister_checkpoint(self, checkpoint_id: int) -> int:
         return sum(shard.deregister_checkpoint(checkpoint_id) for shard in self.shards)
 
-    def lookup(self, fingerprint: PageFingerprint) -> Counter[PageRef]:
+    def _merge(
+        self,
+        fingerprint: PageFingerprint,
+        refs_by_digest: dict[int, tuple[PageRef, ...]],
+    ) -> Counter[PageRef]:
+        """Merge per-digest shard answers into one page's candidate set."""
+        self._page_stats.page_lookups += 1
         counts: Counter[PageRef] = Counter()
         for digest in fingerprint.digest_set:
-            shard = self.shards[self.shard_for(digest)]
-            partial = PageFingerprint(digests=(digest,), offsets=(0,))
-            counts.update(shard.lookup(partial))
+            for ref in refs_by_digest.get(digest, ()):
+                counts[ref] += 1
+        if counts:
+            self._page_stats.hits += 1
         return counts
+
+    def _resolve_grouped(
+        self, fingerprints: Sequence[PageFingerprint]
+    ) -> dict[int, tuple[PageRef, ...]]:
+        """Resolve all digests of a batch, one fan-out visit per shard."""
+        by_shard: dict[int, set[int]] = defaultdict(set)
+        for fingerprint in fingerprints:
+            for digest in fingerprint.digest_set:
+                by_shard[self.shard_for(digest)].add(digest)
+        refs_by_digest: dict[int, tuple[PageRef, ...]] = {}
+        for shard_index, digests in by_shard.items():
+            refs_by_digest.update(self.shards[shard_index].resolve_digests(digests))
+        return refs_by_digest
+
+    def lookup(self, fingerprint: PageFingerprint) -> Counter[PageRef]:
+        return self._merge(fingerprint, self._resolve_grouped([fingerprint]))
+
+    def lookup_batch(
+        self, fingerprints: Sequence[PageFingerprint]
+    ) -> list[Counter[PageRef]]:
+        """Batch lookup: digests grouped per shard before fanning out.
+
+        Note digest-level stats count each *unique* digest of the batch
+        once per shard visit — the communication the sharded controller
+        actually performs — while page-level stats count every page.
+        """
+        refs_by_digest = self._resolve_grouped(fingerprints)
+        return [self._merge(fingerprint, refs_by_digest) for fingerprint in fingerprints]
 
     def choose_base_page(
         self,
@@ -213,19 +362,17 @@ class ShardedFingerprintRegistry:
         local_node_id: int,
     ) -> tuple[PageRef, int] | None:
         """Same selection rule as the single registry, over merged shards."""
-        counts = self.lookup(fingerprint)
-        if not counts:
-            return None
-        best = min(
-            counts.items(),
-            key=lambda item: (
-                -item[1],
-                item[0].node_id != local_node_id,
-                item[0].checkpoint_id,
-                item[0].page_index,
-            ),
-        )
-        return best[0], best[1]
+        return _best_candidate(self.lookup(fingerprint), local_node_id)
+
+    def choose_base_pages(
+        self,
+        fingerprints: Sequence[PageFingerprint],
+        local_node_id: int,
+    ) -> list[tuple[PageRef, int] | None]:
+        return [
+            _best_candidate(counts, local_node_id)
+            for counts in self.lookup_batch(fingerprints)
+        ]
 
     @property
     def digest_count(self) -> int:
@@ -245,8 +392,12 @@ class ShardedFingerprintRegistry:
 
     @property
     def stats(self) -> RegistryStats:
-        """Aggregated counters across shards."""
-        total = RegistryStats()
+        """Page-level front-end counters merged with shard digest counters."""
+        total = RegistryStats(
+            pages_registered=self._page_stats.pages_registered,
+            page_lookups=self._page_stats.page_lookups,
+            hits=self._page_stats.hits,
+        )
         for shard in self.shards:
             total.pages_registered += shard.stats.pages_registered
             total.digests_registered += shard.stats.digests_registered

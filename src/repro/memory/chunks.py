@@ -61,6 +61,25 @@ def rolling_last2(data: np.ndarray) -> np.ndarray:
     return result
 
 
+def _single_byte_marker(mask: int, value: int) -> tuple[int, int] | None:
+    """Reduce a marker to a one-byte test when its mask allows it.
+
+    With a mask confined to the low byte, ``(last2 & mask) == value``
+    only ever inspects ``data[i]`` — the rolling high byte is masked off
+    — so the scan can be a single byte compare instead of materializing
+    rolling 16-bit values (5 full-buffer passes).  Only valid for
+    positions >= 1 (position 0's rolling value is defined as 0); callers
+    guard with their ``min_position``.  Returns ``(mask, value)`` as byte
+    operands, or None when the marker genuinely needs the high byte.
+    """
+    if mask & ~0xFF:
+        return None
+    if value & ~0xFF:
+        # The required value has high bits the mask can never produce.
+        return (0, 1)  # matches nothing: (byte & 0) == 1 is always false
+    return (mask, value)
+
+
 def marker_positions(
     data: np.ndarray,
     *,
@@ -71,23 +90,86 @@ def marker_positions(
     """Window-end positions whose last-two-byte value matches the marker.
 
     Only positions ``>= min_position`` qualify (so a full chunk fits
-    before the window end).
+    before the window end).  This is the per-page reference scan; the
+    batch path's :func:`batch_marker_ends` additionally short-circuits
+    single-byte markers.
     """
     last2 = rolling_last2(data)
     hits = np.flatnonzero((last2 & mask) == value)
     return hits[hits >= min_position]
 
 
-def enforce_spacing(positions: np.ndarray, spacing: int) -> np.ndarray:
+def _byte_marker_matches(data: np.ndarray, byte_marker: tuple[int, int]) -> np.ndarray:
+    bmask, bvalue = byte_marker
+    if bmask == 0xFF:
+        return data == np.uint8(bvalue)
+    return (data & np.uint8(bmask)) == np.uint8(bvalue)
+
+
+def enforce_spacing(
+    positions: np.ndarray, spacing: int, *, cap: int | None = None
+) -> np.ndarray:
     """Greedily thin ``positions`` so consecutive picks are >= spacing apart.
 
     Keeps sampled chunks non-overlapping, mirroring EndRE's skip-ahead
-    after each sampled chunk.
+    after each sampled chunk.  ``cap`` stops after that many picks — the
+    greedy prefix is identical to thinning everything and slicing, so
+    capped and uncapped calls agree on the kept prefix.
     """
     if positions.size == 0:
         return positions
     kept = [int(positions[0])]
+    if cap is not None and len(kept) >= cap:
+        return np.asarray(kept, dtype=np.int64)
     for pos in positions[1:]:
         if pos - kept[-1] >= spacing:
             kept.append(int(pos))
+            if cap is not None and len(kept) >= cap:
+                break
     return np.asarray(kept, dtype=np.int64)
+
+
+def batch_marker_ends(
+    data: np.ndarray,
+    page_size: int,
+    *,
+    mask: int,
+    value: int,
+    min_position: int,
+) -> np.ndarray:
+    """Marker positions of *every page* of a flat buffer, in one scan.
+
+    Equivalent to calling :func:`marker_positions` page by page, but the
+    rolling-value computation runs once over the whole buffer.  Returned
+    positions are absolute buffer offsets; callers split them per page
+    (``positions // page_size``).  Two per-page semantics are preserved:
+
+    * the rolling value of each page's position 0 is defined as 0 (the
+      window never spans a page boundary), and
+    * ``min_position`` applies to the *page-relative* offset.
+    """
+    if len(data) % page_size != 0:
+        raise ValueError("buffer length must be a multiple of page_size")
+    byte_marker = _single_byte_marker(mask, value) if min_position >= 1 else None
+    if byte_marker is not None:
+        # Page starts (whose per-page rolling value is defined as 0) are
+        # position 0 of their page, always below min_position >= 1.
+        hits = np.flatnonzero(_byte_marker_matches(data, byte_marker))
+        return hits[(hits % page_size) >= min_position]
+    last2 = rolling_last2(data)
+    # Reset at page starts: the per-page scan defines position 0 as 0.
+    last2[::page_size] = 0
+    hits = np.flatnonzero((last2 & mask) == value)
+    if min_position > 0:
+        hits = hits[(hits % page_size) >= min_position]
+    return hits
+
+
+def split_positions_by_page(
+    positions: np.ndarray, page_size: int, num_pages: int
+) -> list[np.ndarray]:
+    """Split sorted absolute ``positions`` into one array per page."""
+    if num_pages == 0:
+        return []
+    boundaries = np.arange(1, num_pages, dtype=np.int64) * page_size
+    return np.split(positions, np.searchsorted(positions, boundaries))

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from functools import cached_property
 
 import numpy as np
 
@@ -21,6 +22,7 @@ from repro._util import hash_bytes, rng_for
 from repro.memory.chunks import (
     DEFAULT_CHUNK_SIZE,
     DEFAULT_DIGEST_BITS,
+    batch_marker_ends,
     enforce_spacing,
     marker_positions,
 )
@@ -82,7 +84,7 @@ class PageFingerprint:
         if len(self.digests) != len(self.offsets):
             raise ValueError("digests/offsets length mismatch")
 
-    @property
+    @cached_property
     def digest_set(self) -> frozenset[int]:
         """The unordered digest set used for similarity estimation."""
         return frozenset(self.digests)
@@ -152,3 +154,98 @@ def image_fingerprints(
     else:
         pages = iter(image_pages)
     return [page_fingerprint(page, cfg) for page in pages]
+
+
+# ------------------------------------------------------------------ batch path
+
+
+def nonzero_page_mask(data: np.ndarray, page_size: int) -> np.ndarray:
+    """Boolean mask of pages containing any nonzero byte, vectorized."""
+    if len(data) % page_size != 0:
+        raise ValueError("buffer length must be a multiple of page_size")
+    if len(data) == 0:
+        return np.zeros(0, dtype=bool)
+    return data.reshape(-1, page_size).any(axis=1)
+
+
+def batch_sample_chunk_offsets(
+    data: np.ndarray,
+    page_size: int,
+    config: FingerprintConfig | None = None,
+) -> list[list[int]]:
+    """Per-page chunk start offsets (page-relative) from one buffer scan.
+
+    Produces exactly what :func:`sample_chunk_offsets` yields per page,
+    but the marker scan runs once over the whole buffer instead of page
+    by page — the vectorization the dedup op's throughput lives on.  The
+    greedy spacing/cardinality thinning runs as one pass over plain ints
+    (marker hits are sparse, so per-page numpy dispatch would dominate).
+    """
+    cfg = config or FingerprintConfig()
+    num_pages = len(data) // page_size
+    if cfg.strategy is SamplingStrategy.FIXED_OFFSETS:
+        # Fixed offsets depend only on the page length: one draw serves
+        # every page of the image.
+        offsets = _fixed_offsets(page_size, cfg).tolist()
+        return [offsets] * num_pages
+    ends = batch_marker_ends(
+        data,
+        page_size,
+        mask=cfg.marker_mask,
+        value=cfg.marker_value,
+        min_position=cfg.chunk_size - 1,
+    )
+    out: list[list[int]] = [[] for _ in range(num_pages)]
+    spacing = cfg.chunk_size
+    cardinality = cfg.cardinality
+    delta = cfg.chunk_size - 1
+    page = -1
+    last = -1
+    kept = 0
+    for pos in ends.tolist():
+        p = pos // page_size
+        if p != page:
+            page, last, kept = p, -1, 0
+        if kept >= cardinality:
+            continue
+        if last < 0 or pos - last >= spacing:
+            out[p].append(pos - p * page_size - delta)
+            last = pos
+            kept += 1
+    return out
+
+
+def batch_page_fingerprints(
+    data: np.ndarray,
+    page_size: int,
+    config: FingerprintConfig | None = None,
+    *,
+    pages: np.ndarray | None = None,
+) -> list[PageFingerprint]:
+    """Fingerprints of ``pages`` (default: all) of a flat image buffer.
+
+    Identical digests/offsets to the per-page :func:`page_fingerprint`
+    reference; the marker scan and the raw-bytes materialization happen
+    once for the whole buffer.  ``pages`` restricts hashing to the given
+    page indices (the dedup op skips zero pages, for instance) — the
+    returned list is aligned with it.
+    """
+    cfg = config or FingerprintConfig()
+    offsets_per_page = batch_sample_chunk_offsets(data, page_size, cfg)
+    raw = data.tobytes()
+    if pages is None:
+        indices = range(len(offsets_per_page))
+    else:
+        indices = [int(i) for i in pages]
+    chunk_size = cfg.chunk_size
+    digest_bits = cfg.digest_bits
+    result: list[PageFingerprint] = []
+    for index in indices:
+        base = index * page_size
+        starts = offsets_per_page[index]
+        digests = tuple(
+            hash_bytes(raw[base + s : base + s + chunk_size], digest_bits)
+            for s in starts
+        )
+        result.append(PageFingerprint(digests=digests, offsets=tuple(starts)))
+    return result

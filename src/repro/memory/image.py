@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
+from functools import cached_property
 
 import numpy as np
 
@@ -77,9 +78,18 @@ class MemoryImage:
         for i in range(self.num_pages):
             yield i, self.page(i)
 
+    @cached_property
+    def _checksum(self) -> str:
+        return hashlib.sha1(self.data).hexdigest()
+
     def checksum(self) -> str:
-        """SHA-1 hex digest of the full image (for round-trip assertions)."""
-        return hashlib.sha1(self.data.tobytes()).hexdigest()
+        """SHA-1 hex digest of the full image (for round-trip assertions).
+
+        Computed once per image: the buffer is frozen in
+        ``__post_init__``, so the digest can never go stale, and hashing
+        the array directly avoids materializing a full copy.
+        """
+        return self._checksum
 
     def region_of(self, offset: int) -> RegionSpec | None:
         """The region covering byte ``offset``, or None for guard pages."""

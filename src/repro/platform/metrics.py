@@ -68,6 +68,25 @@ class DedupOpRecord:
 
 
 @dataclass(frozen=True)
+class BaseOpRecord:
+    """One base demarcation: checkpoint capture + registry registration.
+
+    Both phases were previously uncharged (``CostModel.register_ms`` was
+    dead code), understating the §7.7 overhead of creating a base.
+    """
+
+    function: str
+    sandbox_id: int
+    started_ms: float
+    checkpoint_ms: float
+    register_ms: float
+
+    @property
+    def total_ms(self) -> float:
+        return self.checkpoint_ms + self.register_ms
+
+
+@dataclass(frozen=True)
 class RestoreOpRecord:
     """One restore op (dedup start) with the Figure-8 phase breakdown."""
 
@@ -102,6 +121,7 @@ class RunMetrics:
     requests: dict[int, RequestRecord] = field(default_factory=dict)
     dedup_ops: list[DedupOpRecord] = field(default_factory=list)
     restore_ops: list[RestoreOpRecord] = field(default_factory=list)
+    base_ops: list[BaseOpRecord] = field(default_factory=list)
     memory_timeline: list[MemorySample] = field(default_factory=list)
     evictions: int = 0
     prewarm_spawns: int = 0

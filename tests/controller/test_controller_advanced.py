@@ -9,6 +9,7 @@ from repro.platform.config import ClusterConfig
 from repro.platform.metrics import StartType
 from repro.platform.platform import PlatformKind, build_platform
 from repro.sandbox.state import SandboxState
+from repro.sim.network import PeerUnavailable
 from repro.workload.functionbench import FunctionBenchSuite
 from repro.workload.trace import Trace
 
@@ -40,17 +41,18 @@ def pair_suite():
 
 class TestDedupAbort:
     def _abort_trace(self) -> Trace:
-        # Two sandboxes; the second one's dedup op (starting ~6-7 s after
-        # idle) is interrupted by a burst of requests needing both.
-        # Timing: both sandboxes go idle ~0.7-1.7 s in; idle expiry at
-        # ~5.7/6.7 s turns one into a base and starts the other's dedup
-        # op (~1.3 s at 5.7-7.0 s), so t=6.5 s lands mid-DEDUPING.
+        # Two sandboxes; the second one's dedup op is interrupted by a
+        # burst of requests needing both.  Timing: both sandboxes go
+        # idle ~0.7-1.7 s in; idle expiry at ~5.7 s turns one into a
+        # base (busy checkpointing/registering until ~6.86 s) and starts
+        # the other's dedup op (~1.3 s, 5.70-7.03 s), so t=6.95 s lands
+        # after the demarcation completes but mid-DEDUPING.
         return Trace.from_arrivals(
             [
                 (0.0, "Vanilla"),
                 (1.0, "Vanilla"),
-                (6_500.0, "Vanilla"),
-                (6_501.0, "Vanilla"),
+                (6_950.0, "Vanilla"),
+                (6_951.0, "Vanilla"),
             ]
         )
 
@@ -89,6 +91,110 @@ class TestDedupAbort:
                         expected[cid] = expected.get(cid, 0) + count
         for checkpoint in platform.store:
             assert checkpoint.refcount == expected.get(checkpoint.checkpoint_id, 0)
+
+
+class TestPurgeDuringDedup:
+    """Regression: purging a DEDUPING sandbox used to leak its pending
+    dedup timer and the base refcounts the in-flight op had acquired."""
+
+    def _trace(self) -> Trace:
+        return Trace.from_arrivals([(0.0, "Vanilla"), (1.0, "Vanilla")])
+
+    def test_purge_cancels_pending_dedup_and_releases_refs(self, pair_suite):
+        platform = build_platform(
+            PlatformKind.MEDES, config(), pair_suite, medes=medes()
+        )
+        purged: list = []
+
+        def purge_deduping() -> None:
+            # t=6.0 s: the idle-expired sandbox's dedup op is in flight
+            # (5.70-7.03 s, see TestDedupAbort._abort_trace timing).
+            for node in platform.nodes:
+                for sandbox in list(node.sandboxes.values()):
+                    if sandbox.state is SandboxState.DEDUPING:
+                        platform.controller._purge(sandbox, reason="test-eviction")
+                        purged.append(sandbox)
+
+        platform.sim.at(6_000.0, purge_deduping)
+        platform.run(self._trace())
+
+        assert len(purged) == 1
+        assert purged[0].state is SandboxState.PURGED
+        assert purged[0].dedup_table is None
+        # The stale finish_dedup timer must be gone, not just cancelled.
+        assert platform.controller._pending_dedups == {}
+        # Every refcount the aborted op acquired was rolled back: only
+        # resident dedup tables may hold references now.
+        expected: dict[int, int] = {}
+        for node in platform.nodes:
+            for sandbox in node.sandboxes.values():
+                if sandbox.dedup_table is not None:
+                    for cid, count in sandbox.dedup_table.base_refs.items():
+                        expected[cid] = expected.get(cid, 0) + count
+        for checkpoint in platform.store:
+            assert checkpoint.refcount == expected.get(checkpoint.checkpoint_id, 0)
+
+
+class TestMultiCandidateDispatch:
+    def test_dispatch_tries_next_dedup_candidate(self, pair_suite):
+        """Regression: when the best dedup candidate's base pages are
+        unreachable, dispatch must try the remaining dedup sandboxes
+        before falling back to a cold start."""
+        platform = build_platform(
+            PlatformKind.MEDES, config(), pair_suite, medes=medes()
+        )
+        agent = platform.agents[0]
+        real_restore = agent.restore
+        calls = {"n": 0}
+
+        def flaky_restore(table, *, verify=False):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise PeerUnavailable(1)
+            return real_restore(table, verify=verify)
+
+        platform.sim.at(11_999.0, lambda: setattr(agent, "restore", flaky_restore))
+        # Three sandboxes; after idle expiry one demarcates as base and
+        # two become DEDUP.  At t=12.0 s the base owner serves request 3
+        # warm; request 4 must be served from a dedup sandbox even
+        # though the first candidate fails and is purged.
+        trace = Trace.from_arrivals(
+            [
+                (0.0, "Vanilla"),
+                (1.0, "Vanilla"),
+                (2.0, "Vanilla"),
+                (12_000.0, "Vanilla"),
+                (12_000.5, "Vanilla"),
+            ]
+        )
+        report = platform.run(trace)
+        records = report.metrics.requests
+        assert calls["n"] == 2  # first candidate failed, second served
+        assert records[4].start_type is StartType.DEDUP
+        # No extra cold start beyond the three initial ones.
+        assert report.metrics.cold_starts() == 3
+        # The broken candidate is gone.
+        remaining = platform.controller._function_sandboxes("Vanilla")
+        assert len(remaining) == 2
+
+
+class TestBaseOpAccounting:
+    def test_base_demarcation_charged_and_recorded(self, pair_suite):
+        platform = build_platform(
+            PlatformKind.MEDES, config(), pair_suite, medes=medes()
+        )
+        report = platform.run(
+            Trace.from_arrivals([(0.0, "Vanilla"), (1.0, "Vanilla")])
+        )
+        assert len(report.metrics.base_ops) == report.metrics.bases_created == 1
+        record = report.metrics.base_ops[0]
+        assert record.function == "Vanilla"
+        # Both phases carry real cost now (register_ms was dead code).
+        assert record.checkpoint_ms > 0
+        assert record.register_ms > 0
+        assert record.total_ms == record.checkpoint_ms + record.register_ms
+        costs = platform.controller.config.costs
+        assert record.checkpoint_ms >= costs.checkpoint_fixed_ms
 
 
 class TestStarvationPath:

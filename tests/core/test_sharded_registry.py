@@ -50,6 +50,32 @@ class TestApiEquivalence:
         sharded = self._populated(ShardedFingerprintRegistry(4))
         assert sharded.digest_count == single.digest_count
 
+    @pytest.mark.parametrize("n_shards", [1, 4])
+    def test_batch_apis_match_per_page(self, n_shards):
+        queries = [fp(1, 2, 3), fp(4, 5), fp(9, 10, 11, 12), fp(99)]
+        for make in (FingerprintRegistry, lambda: ShardedFingerprintRegistry(n_shards)):
+            per_page = self._populated(make())
+            batched = self._populated(make())
+            expected = [per_page.choose_base_page(q, 0) for q in queries]
+            assert batched.choose_base_pages(queries, 0) == expected
+            assert batched.stats == per_page.stats
+
+    @pytest.mark.parametrize("n_shards", [1, 2, 3, 7])
+    def test_page_level_stats_match_single(self, n_shards):
+        """Regression: the sharded registry used to sum page-level stats
+        across shards, multiplying pages_registered and page_lookups by
+        the number of shards a fingerprint's digests landed on."""
+        single = self._populated(FingerprintRegistry())
+        sharded = self._populated(ShardedFingerprintRegistry(n_shards))
+        for registry in (single, sharded):
+            registry.choose_base_page(fp(1, 2, 3), 0)
+            registry.choose_base_page(fp(9, 10, 11, 12), 3)
+            registry.choose_base_page(fp(99, 100), 0)  # miss
+        assert sharded.stats.pages_registered == single.stats.pages_registered
+        assert sharded.stats.page_lookups == single.stats.page_lookups
+        assert sharded.stats.hits == single.stats.hits
+        assert sharded.stats.hit_rate == single.stats.hit_rate
+
 
 class TestShardingProperties:
     def test_digests_partitioned(self):

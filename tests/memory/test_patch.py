@@ -123,6 +123,61 @@ class TestSerialization:
         assert patch.copied_bytes + patch.literal_bytes == patch.target_len
 
 
+class TestDeserializeHardening:
+    """Malformed blobs must raise ValueError, never struct.error/IndexError."""
+
+    def _multi_op_blob(self) -> bytes:
+        patch = Patch(
+            ops=(
+                CopyOp(src_off=0, length=100),
+                InsertOp(data=b"x" * 40),
+                CopyOp(src_off=200, length=60),
+            ),
+            target_len=200,
+            base_len=4096,
+        )
+        return patch.serialize()
+
+    def test_truncation_at_every_boundary(self):
+        blob = self._multi_op_blob()
+        assert Patch.deserialize(blob).target_len == 200  # sanity
+        for cut in range(len(blob)):
+            with pytest.raises(ValueError):
+                Patch.deserialize(blob[:cut])
+
+    def test_bad_magic(self):
+        blob = bytearray(self._multi_op_blob())
+        blob[0] ^= 0xFF
+        with pytest.raises(ValueError, match="not a valid patch blob"):
+            Patch.deserialize(bytes(blob))
+
+    def test_bad_version(self):
+        blob = bytearray(self._multi_op_blob())
+        blob[2] += 1  # version byte follows the 2-byte magic
+        with pytest.raises(ValueError, match="not a valid patch blob"):
+            Patch.deserialize(bytes(blob))
+
+    def test_unknown_op_tag(self):
+        from repro.memory.patch import _HEADER
+
+        blob = bytearray(self._multi_op_blob())
+        blob[_HEADER.size] = 0x7F  # first op's tag byte
+        with pytest.raises(ValueError, match="unknown op tag"):
+            Patch.deserialize(bytes(blob))
+
+    def test_inconsistent_target_len(self):
+        from repro.memory.patch import _HEADER, _MAGIC, _VERSION
+
+        blob = _HEADER.pack(_MAGIC, _VERSION, 0, 999, 0, 0)
+        with pytest.raises(ValueError, match="inconsistent patch blob"):
+            Patch.deserialize(blob)
+
+    def test_trailing_garbage_ignored_ops_still_validated(self):
+        # Extra bytes past the declared op list do not crash the decoder.
+        blob = self._multi_op_blob() + b"\x00\x01\x02"
+        assert Patch.deserialize(blob[: len(blob) - 3]).target_len == 200
+
+
 class TestValidation:
     def test_ops_must_produce_target_len(self):
         with pytest.raises(ValueError):
