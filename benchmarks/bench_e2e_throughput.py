@@ -1,0 +1,236 @@
+"""End-to-end simulation throughput: indexed vs scan control plane.
+
+The PR this benchmark lands with replaces every recomputed piece of
+cluster state with incrementally maintained indexes: node memory is a
+counter instead of a per-resident sum, dispatch candidates live in
+per-function sets instead of being re-filtered per request, population
+counts are maintained instead of re-counted, placement reads an
+already-sorted node order, and the drain/starvation machinery stops
+rescanning requests and flooding the event heap.  Per-request
+control-plane work drops from O(sandbox population) to O(1).
+
+This benchmark proves the win end to end: it replays the *same* dense
+Azure-style trace on Medes and both keep-alive baselines with
+``ClusterConfig.indexed_control_plane`` off (the pre-change scan paths,
+kept selectable exactly for this measurement) and on, and reports
+simulated-requests/sec and simulator-events/sec for each.  The
+equivalence suite (``tests/platform/test_control_plane_equivalence.py``)
+pins both modes to bit-identical ``RunMetrics``, so the wall-clock delta
+is purely control-plane bookkeeping.
+
+The trace is sized to be control-plane-bound: many replicated functions
+on an oversubscribed multi-node cluster, so the resident population is
+large (hundreds of sandboxes) while per-request work stays small.
+Results go to ``BENCH_e2e_throughput.json`` at the repo root.
+
+Run standalone for the full matrix::
+
+    PYTHONPATH=src python -m benchmarks.bench_e2e_throughput
+
+or via pytest for a reduced smoke configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import json
+import math
+import pathlib
+import platform as platform_module
+import time
+
+from benchmarks.conftest import write_result
+
+import repro.sandbox.checkpoint as checkpoint_module
+import repro.sandbox.sandbox as sandbox_module
+from repro.analysis.tables import render_table
+from repro.core.policy import MedesPolicyConfig
+from repro.platform.config import ClusterConfig
+from repro.platform.platform import PlatformKind, build_platform
+from repro.workload.azure import AzureTraceGenerator
+from repro.workload.functionbench import FunctionBenchSuite
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUTPUT_JSON = REPO_ROOT / "BENCH_e2e_throughput.json"
+
+KINDS = (
+    PlatformKind.MEDES,
+    PlatformKind.FIXED_KEEP_ALIVE,
+    PlatformKind.ADAPTIVE_KEEP_ALIVE,
+)
+
+DEFAULT_NODES = 8
+DEFAULT_NODE_MB = 1024.0
+DEFAULT_COPIES = 4
+DEFAULT_DURATION_MIN = 8.0
+DEFAULT_RATE_SCALE = 10.0
+DEFAULT_REPS = 2
+SCALE = 1.0 / 256.0
+
+MEDES = MedesPolicyConfig(idle_period_ms=30_000.0, alpha=25.0)
+
+
+def make_workload(copies: int, duration_min: float, rate_scale: float, seed: int):
+    """A dense multi-function trace over a large replicated suite."""
+    suite = FunctionBenchSuite.replicated(FunctionBenchSuite.default().names(), copies)
+    trace = AzureTraceGenerator(seed=seed, rate_scale=rate_scale).generate(
+        duration_min, suite.names()
+    )
+    return suite, trace
+
+
+def run_once(kind, config, suite, trace) -> dict:
+    """One timed platform run; returns wall time and simulator counters."""
+    # Reset the process-global id counters so paired runs mint identical
+    # ids and therefore replay identical event sequences.
+    sandbox_module._sandbox_ids = itertools.count(1)
+    checkpoint_module._checkpoint_ids = itertools.count(1)
+    kwargs = {"medes": MEDES} if kind is PlatformKind.MEDES else {}
+    platform = build_platform(kind, config, suite, **kwargs)
+    t0 = time.perf_counter()
+    report = platform.run(trace)
+    wall_s = time.perf_counter() - t0
+    return {
+        "wall_s": wall_s,
+        "events": platform.sim.events_processed,
+        "requests": len(report.metrics.requests),
+        "completed": len(report.metrics.completed_records()),
+        "sandboxes_created": report.metrics.sandboxes_created,
+        "evictions": report.metrics.evictions,
+    }
+
+
+def run_pair(kind, config, suite, trace, reps: int) -> dict:
+    """Paired scan-vs-indexed timing (min over ``reps``) for one platform."""
+    from dataclasses import replace
+
+    best: dict[bool, dict] = {}
+    for _ in range(reps):
+        for indexed in (False, True):
+            cfg = replace(config, indexed_control_plane=indexed)
+            sample = run_once(kind, cfg, suite, trace)
+            prior = best.get(indexed)
+            if prior is None or sample["wall_s"] < prior["wall_s"]:
+                best[indexed] = sample
+    scan, indexed = best[False], best[True]
+    assert scan["requests"] == indexed["requests"]
+    assert scan["events"] == indexed["events"], "paired runs diverged"
+    return {
+        "platform": kind.value,
+        "requests": scan["requests"],
+        "events": scan["events"],
+        "sandboxes_created": indexed["sandboxes_created"],
+        "evictions": indexed["evictions"],
+        "scan_wall_s": round(scan["wall_s"], 3),
+        "indexed_wall_s": round(indexed["wall_s"], 3),
+        "scan_req_per_s": round(scan["requests"] / scan["wall_s"], 1),
+        "indexed_req_per_s": round(indexed["requests"] / indexed["wall_s"], 1),
+        "scan_events_per_s": round(scan["events"] / scan["wall_s"], 1),
+        "indexed_events_per_s": round(indexed["events"] / indexed["wall_s"], 1),
+        "speedup": round(scan["wall_s"] / indexed["wall_s"], 3),
+    }
+
+
+def _geomean(values: list[float]) -> float:
+    return math.exp(sum(math.log(v) for v in values) / len(values)) if values else 0.0
+
+
+def run_matrix(
+    nodes: int = DEFAULT_NODES,
+    node_mb: float = DEFAULT_NODE_MB,
+    copies: int = DEFAULT_COPIES,
+    duration_min: float = DEFAULT_DURATION_MIN,
+    rate_scale: float = DEFAULT_RATE_SCALE,
+    reps: int = DEFAULT_REPS,
+    seed: int = 17,
+) -> dict:
+    suite, trace = make_workload(copies, duration_min, rate_scale, seed)
+    config = ClusterConfig(
+        nodes=nodes, node_memory_mb=node_mb, content_scale=SCALE, seed=seed
+    )
+    results = [run_pair(kind, config, suite, trace, reps) for kind in KINDS]
+    return {
+        "benchmark": "e2e_throughput",
+        "units": "simulated requests/sec and simulator events/sec of full platform runs",
+        "config": {
+            "nodes": nodes,
+            "node_memory_mb": node_mb,
+            "functions": copies * len(FunctionBenchSuite.default().names()),
+            "trace_minutes": duration_min,
+            "rate_scale": rate_scale,
+            "trace_requests": len(trace),
+            "content_scale": "1/256",
+            "reps": reps,
+            "python": platform_module.python_version(),
+        },
+        "results": results,
+        "summary": {
+            "geomean_speedup": round(_geomean([r["speedup"] for r in results]), 3),
+            "max_speedup": round(max(r["speedup"] for r in results), 3),
+            "min_speedup": round(min(r["speedup"] for r in results), 3),
+        },
+    }
+
+
+def _render(report: dict) -> str:
+    rows = [
+        [
+            r["platform"],
+            f"{r['requests']:,}",
+            f"{r['scan_req_per_s']:,.0f}",
+            f"{r['indexed_req_per_s']:,.0f}",
+            f"{r['scan_events_per_s']:,.0f}",
+            f"{r['indexed_events_per_s']:,.0f}",
+            f"{r['speedup']:.2f}x",
+        ]
+        for r in report["results"]
+    ]
+    rows.append(
+        ["geomean", "", "", "", "", "", f"{report['summary']['geomean_speedup']:.2f}x"]
+    )
+    return render_table(
+        ["platform", "requests", "scan req/s", "indexed req/s",
+         "scan ev/s", "indexed ev/s", "speedup"],
+        rows,
+        title="End-to-end simulation throughput: scan vs indexed control plane",
+    )
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=DEFAULT_NODES)
+    parser.add_argument("--node-mb", type=float, default=DEFAULT_NODE_MB)
+    parser.add_argument("--copies", type=int, default=DEFAULT_COPIES)
+    parser.add_argument("--duration-min", type=float, default=DEFAULT_DURATION_MIN)
+    parser.add_argument("--rate-scale", type=float, default=DEFAULT_RATE_SCALE)
+    parser.add_argument("--reps", type=int, default=DEFAULT_REPS)
+    args = parser.parse_args(argv)
+    report = run_matrix(
+        nodes=args.nodes,
+        node_mb=args.node_mb,
+        copies=args.copies,
+        duration_min=args.duration_min,
+        rate_scale=args.rate_scale,
+        reps=args.reps,
+    )
+    OUTPUT_JSON.write_text(json.dumps(report, indent=2) + "\n")
+    text = _render(report)
+    write_result("e2e_throughput", text)
+    print(text)
+    print(f"\nwrote {OUTPUT_JSON}")
+
+
+def test_e2e_throughput_smoke():
+    """Reduced trace: the indexed control plane must not be slower."""
+    report = run_matrix(
+        nodes=4, copies=2, duration_min=3.0, rate_scale=6.0, reps=1
+    )
+    for result in report["results"]:
+        assert result["requests"] > 0, result
+        assert result["speedup"] > 0.8, result
+    assert report["summary"]["geomean_speedup"] > 1.0
+
+
+if __name__ == "__main__":
+    main()

@@ -2,5 +2,12 @@
 
 from repro.controller.baselines import AdaptiveKeepAlivePolicy, FixedKeepAlivePolicy
 from repro.controller.controller import ClusterController
+from repro.controller.index import NodeUsageIndex, SandboxIndex
 
-__all__ = ["AdaptiveKeepAlivePolicy", "ClusterController", "FixedKeepAlivePolicy"]
+__all__ = [
+    "AdaptiveKeepAlivePolicy",
+    "ClusterController",
+    "FixedKeepAlivePolicy",
+    "NodeUsageIndex",
+    "SandboxIndex",
+]

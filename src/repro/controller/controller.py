@@ -16,13 +16,23 @@ simulator.  It implements the paper's Section-3 workflows:
 The same controller runs the baselines: their policies simply never ask
 for deduplication (``idle_period_ms`` is None) and may request
 pre-warmed spawns (the adaptive policy).
+
+Scheduling state is **indexed** by default
+(``ClusterConfig.indexed_control_plane``): candidate sets, population
+counters and the placement order are maintained incrementally (see
+:mod:`repro.controller.index`), so per-request control-plane work is
+independent of the sandbox population.  The original scan paths are
+preserved behind the flag and pinned to bit-identical behaviour by
+``tests/platform/test_control_plane_equivalence.py``.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 
 from repro._util import stable_seed
+from repro.controller.index import NodeUsageIndex, SandboxIndex
 from repro.core.agent import DedupAgent
 from repro.core.basemgr import BaseSandboxManager
 from repro.core.policy import ClusterView, Decision, FunctionStats, LifecyclePolicy
@@ -104,6 +114,18 @@ class ClusterController:
         self._pending_dedups: dict[int, tuple[Timer, object]] = {}
         self._instance_counter = 0
         self._draining = False
+        self.indexed = config.indexed_control_plane
+        self._index = SandboxIndex()
+        self._usage = NodeUsageIndex(nodes)
+        if self.indexed:
+            for node in nodes:
+                node.on_used_changed = self._usage.update
+        # Coalesced starvation machinery: the pending desperation
+        # deadlines of queued requests (monotone, hence a deque) with a
+        # single armed timer for the earliest — instead of one heap
+        # event per queued request.
+        self._starvation_deadlines: deque[float] = deque()
+        self._starvation_timer: Timer | None = None
 
     # ------------------------------------------------------------ helpers
 
@@ -149,6 +171,8 @@ class ClusterController:
 
     def live_counts(self) -> tuple[dict[str, int], dict[str, int]]:
         """Per-function (serving-capable count, dedup count)."""
+        if self.indexed:
+            return dict(self._index.live_count), dict(self._index.dedup_count)
         live: dict[str, int] = {}
         dedup: dict[str, int] = {}
         live_states = {
@@ -183,6 +207,9 @@ class ClusterController:
 
     def sandbox_census(self) -> tuple[int, int, int]:
         """(warm-ish, dedup, total) sandbox counts for memory sampling."""
+        if self.indexed:
+            index = self._index
+            return index.warm_census, index.dedup_census, index.total
         warm = dedup = total = 0
         for sandboxes in self._by_function.values():
             for sandbox in sandboxes.values():
@@ -205,25 +232,80 @@ class ClusterController:
             self._queue.append((request, record))
             # Give the starvation path (last-resort base eviction) a
             # chance even if no other event frees memory meanwhile.
-            self.sim.after(STARVATION_MS + 1.0, self._drain_queue)
+            if self.indexed:
+                self._note_starvation_deadline(self.sim.now + STARVATION_MS + 1.0)
+            else:
+                self.sim.after(STARVATION_MS + 1.0, self._drain_queue)
+
+    def _note_starvation_deadline(self, deadline: float) -> None:
+        """Record a queued request's desperation deadline.
+
+        One timer is armed for the earliest pending deadline; later
+        deadlines wait in the deque instead of each occupying an event
+        on the simulator heap (arrivals are monotone, so appends keep
+        the deque sorted).
+        """
+        self._starvation_deadlines.append(deadline)
+        if self._starvation_timer is None or not self._starvation_timer.pending:
+            self._starvation_timer = self.sim.at(
+                self._starvation_deadlines[0], self._fire_starvation_timer
+            )
+
+    def _fire_starvation_timer(self) -> None:
+        """Drain once per due deadline, then re-arm for the next one."""
+        self._starvation_timer = None
+        while self._starvation_deadlines and self._starvation_deadlines[0] <= self.sim.now:
+            self._starvation_deadlines.popleft()
+            self._drain_queue()
+        if self._starvation_deadlines:
+            self._starvation_timer = self.sim.at(
+                self._starvation_deadlines[0], self._fire_starvation_timer
+            )
+
+    def _dispatch_candidates(
+        self, function: str
+    ) -> tuple[list[Sandbox], list[Sandbox], list[Sandbox]]:
+        """(idle-warm, restorable-dedup, abortable-deduping) candidates.
+
+        The indexed path reads the maintained candidate sets; the scan
+        path filters the whole per-function population.  Both return
+        the same membership, and callers apply the same orderings, so
+        dispatch decisions are identical.
+        """
+        if self.indexed:
+            warm = list(self._index.idle_warm.get(function, {}).values())
+            restorable = list(self._index.restorable.get(function, {}).values())
+            abortable = (
+                list(self._index.abortable.get(function, {}).values())
+                if self.config.enable_dedup_abort
+                else []
+            )
+            return warm, restorable, abortable
+        sandboxes = self._function_sandboxes(function)
+        warm = [s for s in sandboxes.values() if s.idle_warm]
+        restorable = [
+            s
+            for s in sandboxes.values()
+            if s.state is SandboxState.DEDUP and s.busy_request_id is None
+        ]
+        abortable = [
+            s
+            for s in sandboxes.values()
+            if s.state is SandboxState.DEDUPING and s.busy_request_id is None
+        ] if self.config.enable_dedup_abort else []
+        return warm, restorable, abortable
 
     def _try_dispatch(
         self, request: Request, record: RequestRecord, *, desperate: bool = False
     ) -> bool:
         function = request.function
-        sandboxes = self._function_sandboxes(function)
+        warm_candidates, dedup_candidates, deduping = self._dispatch_candidates(function)
 
-        warm_candidates = [s for s in sandboxes.values() if s.idle_warm]
         if warm_candidates:
             sandbox = max(warm_candidates, key=lambda s: (s.last_used_at, s.sandbox_id))
             self._start_warm(sandbox, request, record)
             return True
 
-        dedup_candidates = [
-            s
-            for s in sandboxes.values()
-            if s.state is SandboxState.DEDUP and s.busy_request_id is None
-        ]
         dedup_candidates.sort(key=lambda s: (s.last_used_at, s.sandbox_id), reverse=True)
         for sandbox in dedup_candidates:
             if self._start_dedup(sandbox, request, record):
@@ -234,11 +316,6 @@ class ClusterController:
 
         # A sandbox mid-dedup is cheaper to reclaim than a cold start:
         # abort the (background) dedup op and serve the request warm.
-        deduping = [
-            s
-            for s in sandboxes.values()
-            if s.state is SandboxState.DEDUPING and s.busy_request_id is None
-        ] if self.config.enable_dedup_abort else []
         if deduping:
             sandbox = max(deduping, key=lambda s: (s.last_used_at, s.sandbox_id))
             self._abort_dedup(sandbox)
@@ -297,10 +374,14 @@ class ClusterController:
             table = sandbox.dedup_table
             assert table is not None
             sandbox.image = outcome.image
+            # Transition out of RESTORING while the table is still set:
+            # accounting observers recompute memory_bytes() on every
+            # transition, and a table-less RESTORING sandbox has no
+            # defined footprint.
+            sandbox.transition(SandboxState.RUNNING, self.sim.now)
             sandbox.dedup_table = None
             self._release_base_refs(table)
             self.basemgr.note_dedup(sandbox.function, -1)
-            sandbox.transition(SandboxState.RUNNING, self.sim.now)
             self._run_request(sandbox, request, record, already_started=True)
 
         self.sim.after(timings.total_ms, finish_restore)
@@ -341,7 +422,7 @@ class ClusterController:
         delay = exec_ms if already_started else record.startup_ms + exec_ms
 
         def complete() -> None:
-            record.completion_ms = self.sim.now
+            self.metrics.on_completion(record, self.sim.now)
             sandbox.busy_request_id = None
             sandbox.served_requests += 1
             sandbox.transition(SandboxState.WARM, self.sim.now)
@@ -360,6 +441,11 @@ class ClusterController:
             created_at=self.sim.now,
         )
         node.admit(sandbox)
+        if self.indexed:
+            # After the node's accounting observer, so index reads see
+            # up-to-date memory charges.
+            sandbox.observers.append(self._index.on_transition)
+            self._index.on_spawn(sandbox)
         self._function_sandboxes(profile.name)[sandbox.sandbox_id] = sandbox
         self.metrics.sandboxes_created += 1
         return sandbox
@@ -400,7 +486,13 @@ class ClusterController:
         return self._try_place(needed_bytes, include_bases=True)
 
     def _try_place(self, needed_bytes: int, *, include_bases: bool) -> Node | None:
-        candidates = sorted(self.nodes, key=lambda n: (n.used_bytes(), n.node_id))
+        # Both paths fix the candidate order at entry (evictions below
+        # do not re-rank it): the scan path by sorting a fresh list, the
+        # indexed path by snapshotting the maintained order.
+        if self.indexed:
+            candidates = self._usage.snapshot()
+        else:
+            candidates = sorted(self.nodes, key=lambda n: (n.used_bytes(), n.node_id))
         for node in candidates:
             if node.fits(needed_bytes):
                 return node
@@ -579,11 +671,17 @@ class ClusterController:
         )
         self.metrics.base_ops.append(record)
         sandbox.busy_request_id = _BASE_OP_BUSY
+        if self.indexed:
+            # The busy flag changed without a state transition, so no
+            # observer fired; update candidate membership by hand.
+            self._index.refresh(sandbox)
 
         def finish_base_op() -> None:
             if sandbox.busy_request_id != _BASE_OP_BUSY:
                 return  # purged (or otherwise reclaimed) mid-demarcation
             sandbox.busy_request_id = None
+            if self.indexed:
+                self._index.refresh(sandbox)
             if sandbox.state is SandboxState.WARM:
                 self._arm_idle_timers(sandbox)
 
@@ -706,5 +804,8 @@ class ClusterController:
         if sandbox.is_base and sandbox.base_checkpoint_id is not None:
             checkpoint = self.store.get(sandbox.base_checkpoint_id)
             checkpoint.owner_resident = False
+            # The copy-on-write discount ends with the owner: re-account
+            # the pinned checkpoint at its full footprint.
+            self.nodes[checkpoint.node_id].recharge_checkpoint(checkpoint.checkpoint_id)
             self._maybe_retire_checkpoint(checkpoint)
         self._drain_queue()

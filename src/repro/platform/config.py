@@ -70,6 +70,15 @@ class ClusterConfig:
     memory_sample_interval_ms: float = 10_000.0
     verify_restores: bool = False
     """Verify every restored image checksum (slow; tests enable it)."""
+    indexed_control_plane: bool = True
+    """Serve scheduling state from incrementally maintained indexes
+    (O(1) per request) instead of rescanning sandboxes and re-summing
+    node memory.  Off reproduces the pre-index scan paths exactly —
+    kept for the e2e throughput benchmark and the equivalence tests
+    that pin both modes to bit-identical RunReports."""
+    verify_accounting: bool = False
+    """Debug: assert every node's cached used-bytes counter against the
+    recomputed per-resident sum on every read (slow; tests enable it)."""
 
     def __post_init__(self) -> None:
         if self.nodes <= 0:

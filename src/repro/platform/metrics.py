@@ -127,13 +127,25 @@ class RunMetrics:
     prewarm_spawns: int = 0
     sandboxes_created: int = 0
     bases_created: int = 0
+    outstanding_requests: int = 0
+    """Arrived-but-not-completed requests, maintained by
+    :meth:`on_arrival`/:meth:`on_completion` so the platform's drain
+    loop is an O(1) counter check instead of a scan of every record."""
 
     # -------------------------------------------------------------- record
 
     def on_arrival(self, request_id: int, function: str, now: float) -> RequestRecord:
         record = RequestRecord(request_id=request_id, function=function, arrival_ms=now)
         self.requests[request_id] = record
+        self.outstanding_requests += 1
         return record
+
+    def on_completion(self, record: RequestRecord, now: float) -> None:
+        """Mark ``record`` complete and retire it from the outstanding count."""
+        if record.completion_ms is not None:
+            raise RuntimeError(f"request {record.request_id} completed twice")
+        record.completion_ms = now
+        self.outstanding_requests -= 1
 
     def completed_records(self) -> list[RequestRecord]:
         return [r for r in self.requests.values() if r.completion_ms is not None]

@@ -97,7 +97,12 @@ class Platform:
         self.store = CheckpointStore()
         self.basemgr = BaseSandboxManager(self.store, threshold=config.base_threshold)
         self.nodes = [
-            Node(node_id=i, capacity_bytes=config.node_capacity_bytes)
+            Node(
+                node_id=i,
+                capacity_bytes=config.node_capacity_bytes,
+                cached_accounting=config.indexed_control_plane,
+                verify_accounting=config.verify_accounting,
+            )
             for i in range(config.nodes)
         ]
         self.agents = {
@@ -194,8 +199,14 @@ class Platform:
         end = trace.duration_ms + tail_ms
         self.sim.run_until(end)
         # Let any in-flight requests (queued under pressure) drain.
+        if self.config.indexed_control_plane:
+            def undrained() -> bool:
+                return self.metrics.outstanding_requests > 0
+        else:
+            def undrained() -> bool:
+                return any(r.completion_ms is None for r in self.metrics.requests.values())
         guard = 0
-        while any(r.completion_ms is None for r in self.metrics.requests.values()):
+        while undrained():
             end += RUN_TAIL_MS
             guard += 1
             self.sim.run_until(end)

@@ -1,7 +1,7 @@
 """Sandbox substrate: lifecycle, checkpoints, sandbox entities, nodes."""
 
 from repro.sandbox.checkpoint import BaseCheckpoint, CheckpointStore
-from repro.sandbox.node import CapacityError, EvictionOrder, Node, least_used_node
+from repro.sandbox.node import AccountingError, CapacityError, EvictionOrder, Node
 from repro.sandbox.sandbox import Sandbox
 from repro.sandbox.state import (
     ASSIGNABLE_STATES,
@@ -14,6 +14,7 @@ from repro.sandbox.state import (
 
 __all__ = [
     "ASSIGNABLE_STATES",
+    "AccountingError",
     "BaseCheckpoint",
     "CapacityError",
     "EvictionOrder",
@@ -25,5 +26,4 @@ __all__ = [
     "SandboxState",
     "allowed_transitions",
     "check_transition",
-    "least_used_node",
 ]

@@ -6,16 +6,29 @@ default) and the eviction machinery asks them for idle candidates when
 memory pressure hits.  Per-node memory limits are *soft-defined* the way
 the paper's testbed does it: a software limit passed in the cluster
 configuration (Section 7.1 uses 2 GB/node to oversubscribe the cluster).
+
+Accounting is **incremental**: the node keeps a ``used`` counter updated
+on admit/remove/pin/unpin and — via a transition observer it installs on
+every admitted sandbox — on lifecycle transitions that change a
+sandbox's footprint (warm↔dedup↔restoring).  ``used_bytes``, ``fits``
+and ``free_bytes`` are therefore O(1) instead of O(residents).  The
+recomputed sum survives as :meth:`recomputed_used_bytes`, asserted
+against the counter on every read when ``verify_accounting`` is set
+(tests enable it) and used directly when ``cached_accounting`` is off
+(the pre-index behaviour, kept for the throughput benchmark and the
+equivalence tests).
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro._util import stable_seed
 from repro.sandbox.checkpoint import BaseCheckpoint
 from repro.sandbox.sandbox import Sandbox
+from repro.sandbox.state import SandboxState
 
 
 class EvictionOrder(enum.Enum):
@@ -38,6 +51,11 @@ class CapacityError(RuntimeError):
     """Raised when an admission would exceed the node's memory limit."""
 
 
+class AccountingError(AssertionError):
+    """Raised when the incremental ``used`` counter drifts from the
+    recomputed per-resident sum (only checked under ``verify_accounting``)."""
+
+
 @dataclass
 class Node:
     """One worker node."""
@@ -46,9 +64,38 @@ class Node:
     capacity_bytes: int
     sandboxes: dict[int, Sandbox] = field(default_factory=dict)
     checkpoints: dict[int, BaseCheckpoint] = field(default_factory=dict)
+    cached_accounting: bool = True
+    """Serve ``used_bytes`` from the incremental counter (O(1)).  Off
+    recomputes the per-resident sum on every call — the pre-index cost
+    model, kept selectable for the e2e throughput benchmark."""
+    verify_accounting: bool = False
+    """Debug: assert counter == recomputed sum on every read."""
+    on_used_changed: Callable[["Node"], None] | None = field(
+        default=None, repr=False, compare=False
+    )
+    """Hook fired whenever the node's memory charge changes (the
+    controller's placement index subscribes here)."""
+    _used: int = field(default=0, repr=False)
+    _sandbox_charges: dict[int, int] = field(default_factory=dict, repr=False)
+    _checkpoint_charges: dict[int, int] = field(default_factory=dict, repr=False)
+
+    # -------------------------------------------------------- accounting
 
     def used_bytes(self) -> int:
         """Current full-scale memory charge on this node."""
+        if self.verify_accounting:
+            recomputed = self.recomputed_used_bytes()
+            if recomputed != self._used:
+                raise AccountingError(
+                    f"node {self.node_id}: cached used={self._used} != "
+                    f"recomputed {recomputed}"
+                )
+        if self.cached_accounting:
+            return self._used
+        return self.recomputed_used_bytes()
+
+    def recomputed_used_bytes(self) -> int:
+        """The O(residents) sum the counter must always agree with."""
         total = sum(sandbox.memory_bytes() for sandbox in self.sandboxes.values())
         total += sum(checkpoint.memory_bytes() for checkpoint in self.checkpoints.values())
         return total
@@ -59,6 +106,26 @@ class Node:
     def fits(self, extra_bytes: int) -> bool:
         """Would admitting ``extra_bytes`` stay within the soft limit?"""
         return self.used_bytes() + extra_bytes <= self.capacity_bytes
+
+    def _apply_delta(self, delta: int) -> None:
+        if delta == 0:
+            return
+        self._used += delta
+        if self.on_used_changed is not None:
+            self.on_used_changed(self)
+
+    def _on_sandbox_transition(
+        self, sandbox: Sandbox, old_state: SandboxState, new_state: SandboxState
+    ) -> None:
+        """Transition observer: recharge the sandbox at its new footprint."""
+        charged = self._sandbox_charges.get(sandbox.sandbox_id)
+        if charged is None:
+            return  # not (or no longer) resident here
+        new_charge = sandbox.memory_bytes()
+        self._sandbox_charges[sandbox.sandbox_id] = new_charge
+        self._apply_delta(new_charge - charged)
+
+    # --------------------------------------------------------- residents
 
     def admit(self, sandbox: Sandbox) -> None:
         """Place a sandbox on this node (capacity is checked by callers
@@ -72,23 +139,55 @@ class Node:
                 f"not {self.node_id}"
             )
         self.sandboxes[sandbox.sandbox_id] = sandbox
+        charge = sandbox.memory_bytes()
+        self._sandbox_charges[sandbox.sandbox_id] = charge
+        sandbox.observers.append(self._on_sandbox_transition)
+        self._apply_delta(charge)
 
     def remove(self, sandbox_id: int) -> Sandbox:
         try:
-            return self.sandboxes.pop(sandbox_id)
+            sandbox = self.sandboxes.pop(sandbox_id)
         except KeyError:
             raise KeyError(f"sandbox {sandbox_id} not on node {self.node_id}") from None
+        charge = self._sandbox_charges.pop(sandbox_id)
+        try:
+            sandbox.observers.remove(self._on_sandbox_transition)
+        except ValueError:  # pragma: no cover - defensive
+            pass
+        self._apply_delta(-charge)
+        return sandbox
 
     def pin_checkpoint(self, checkpoint: BaseCheckpoint) -> None:
         if checkpoint.node_id != self.node_id:
             raise ValueError("checkpoint pinned to the wrong node")
         self.checkpoints[checkpoint.checkpoint_id] = checkpoint
+        charge = checkpoint.memory_bytes()
+        self._checkpoint_charges[checkpoint.checkpoint_id] = charge
+        self._apply_delta(charge)
 
     def unpin_checkpoint(self, checkpoint_id: int) -> BaseCheckpoint:
         try:
-            return self.checkpoints.pop(checkpoint_id)
+            checkpoint = self.checkpoints.pop(checkpoint_id)
         except KeyError:
             raise KeyError(f"checkpoint {checkpoint_id} not on node {self.node_id}") from None
+        self._apply_delta(-self._checkpoint_charges.pop(checkpoint_id))
+        return checkpoint
+
+    def recharge_checkpoint(self, checkpoint_id: int) -> None:
+        """Re-account a pinned checkpoint whose charge changed.
+
+        The only such change is the owner sandbox's purge: a checkpoint
+        charged at the copy-on-write fraction while its owner was
+        resident costs its full footprint afterwards.  The controller
+        calls this right after flipping ``owner_resident``.
+        """
+        checkpoint = self.checkpoints[checkpoint_id]
+        charged = self._checkpoint_charges[checkpoint_id]
+        new_charge = checkpoint.memory_bytes()
+        self._checkpoint_charges[checkpoint_id] = new_charge
+        self._apply_delta(new_charge - charged)
+
+    # ---------------------------------------------------------- eviction
 
     def eviction_candidates(
         self, order: EvictionOrder = EvictionOrder.LRU
@@ -104,10 +203,3 @@ class Node:
         else:  # pragma: no cover - exhaustive enum
             raise AssertionError(f"unhandled eviction order {order}")
         return victims
-
-
-def least_used_node(nodes: list[Node]) -> Node:
-    """The paper's default placement: the node with least memory usage."""
-    if not nodes:
-        raise ValueError("no nodes")
-    return min(nodes, key=lambda n: (n.used_bytes(), n.node_id))

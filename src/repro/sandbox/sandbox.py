@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Protocol, runtime_checkable
+from typing import Callable, Protocol, runtime_checkable
 
 from repro.memory.image import MemoryImage
 from repro.sandbox.state import (
@@ -14,6 +14,9 @@ from repro.sandbox.state import (
     check_transition,
 )
 from repro.workload.functionbench import FunctionProfile
+
+#: Signature of a transition observer: (sandbox, old_state, new_state).
+TransitionObserver = Callable[["Sandbox", SandboxState, SandboxState], None]
 
 _sandbox_ids = itertools.count(1)
 
@@ -52,6 +55,10 @@ class Sandbox:
     base_checkpoint_id: int | None = None
     served_requests: int = 0
     dedup_count: int = 0
+    observers: list[TransitionObserver] = field(default_factory=list, compare=False)
+    """Transition hooks (node accounting, controller indexes).  Each is
+    called *after* the state and timestamps update, so it observes the
+    post-transition sandbox.  Observers must not transition sandboxes."""
 
     def __post_init__(self) -> None:
         self.last_used_at = self.created_at
@@ -83,11 +90,14 @@ class Sandbox:
     def transition(self, new_state: SandboxState, now: float) -> None:
         """Move the lifecycle forward, enforcing Figure 4b."""
         check_transition(self.state, new_state)
+        old_state = self.state
         self.state = new_state
         if new_state is SandboxState.WARM:
             self.last_idle_at = now
         if new_state is SandboxState.RUNNING:
             self.last_used_at = now
+        for observer in self.observers:
+            observer(self, old_state, new_state)
 
     def memory_bytes(self) -> int:
         """Full-scale memory charge of this sandbox in its current state.

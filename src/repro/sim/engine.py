@@ -110,6 +110,10 @@ class Simulator:
 
         def tick() -> None:
             callback()
+            if holder["timer"]._entry.cancelled:
+                # The callback cancelled its own series; the fired entry
+                # carries the flag, so honour it instead of re-arming.
+                return
             holder["timer"]._entry = self.after(interval, tick)._entry
 
         holder["timer"] = self.after(interval, tick)

@@ -5,9 +5,17 @@ from __future__ import annotations
 import pytest
 
 from repro._util import MIB
-from repro.sandbox.node import Node, least_used_node
+from repro.sandbox.checkpoint import BaseCheckpoint
+from repro.sandbox.node import AccountingError, Node
 from repro.sandbox.sandbox import Sandbox
 from repro.sandbox.state import SandboxState
+
+
+class FakeDedupTable:
+    """Minimal RetainedState: a fixed retained-bytes figure."""
+
+    def __init__(self, retained_full_bytes: int):
+        self.retained_full_bytes = retained_full_bytes
 
 
 def make_sandbox(profile, node_id=0, created=0.0) -> Sandbox:
@@ -19,7 +27,7 @@ def make_sandbox(profile, node_id=0, created=0.0) -> Sandbox:
 
 @pytest.fixture
 def node() -> Node:
-    return Node(node_id=0, capacity_bytes=256 * MIB)
+    return Node(node_id=0, capacity_bytes=256 * MIB, verify_accounting=True)
 
 
 class TestAccounting:
@@ -54,6 +62,66 @@ class TestAccounting:
             node.remove(sandbox.sandbox_id)
 
 
+class TestIncrementalAccounting:
+    """The cached counter must track footprint changes it never re-sums."""
+
+    def test_transition_recharges_resident(self, node, linalg_profile):
+        sandbox = make_sandbox(linalg_profile)
+        node.admit(sandbox)
+        sandbox.transition(SandboxState.DEDUPING, 2.0)
+        assert node.used_bytes() == linalg_profile.memory_bytes
+        sandbox.dedup_table = FakeDedupTable(retained_full_bytes=3 * MIB)
+        sandbox.transition(SandboxState.DEDUP, 3.0)
+        assert node.used_bytes() == 3 * MIB
+        sandbox.transition(SandboxState.RESTORING, 4.0)
+        assert node.used_bytes() == linalg_profile.memory_bytes + 3 * MIB
+
+    def test_removed_sandbox_transitions_do_not_charge(self, node, linalg_profile):
+        sandbox = make_sandbox(linalg_profile)
+        node.admit(sandbox)
+        node.remove(sandbox.sandbox_id)
+        sandbox.transition(SandboxState.DEDUPING, 2.0)
+        assert node.used_bytes() == 0
+
+    def test_checkpoint_recharge_after_owner_leaves(self, node, linalg_profile):
+        sandbox = make_sandbox(linalg_profile)
+        sandbox.image = linalg_profile.synthesize(1, content_scale=1 / 64, executed=True)
+        checkpoint = BaseCheckpoint(
+            function=linalg_profile.name,
+            node_id=0,
+            image=sandbox.image,
+            owner_sandbox_id=sandbox.sandbox_id,
+            full_size_bytes=linalg_profile.memory_bytes,
+        )
+        node.pin_checkpoint(checkpoint)
+        cow_charge = node.used_bytes()
+        checkpoint.owner_resident = False
+        node.recharge_checkpoint(checkpoint.checkpoint_id)
+        assert node.used_bytes() == checkpoint.memory_bytes() > cow_charge
+
+    def test_on_used_changed_hook_fires(self, linalg_profile):
+        seen: list[int] = []
+        node = Node(node_id=0, capacity_bytes=256 * MIB)
+        node.on_used_changed = lambda n: seen.append(n.used_bytes())
+        sandbox = make_sandbox(linalg_profile)
+        node.admit(sandbox)
+        node.remove(sandbox.sandbox_id)
+        assert seen == [linalg_profile.memory_bytes, 0]
+
+    def test_verify_accounting_detects_drift(self, node, linalg_profile):
+        sandbox = make_sandbox(linalg_profile)
+        node.admit(sandbox)
+        node._used += 1  # simulate a lost update
+        with pytest.raises(AccountingError, match="cached used"):
+            node.used_bytes()
+
+    def test_uncached_mode_recomputes(self, linalg_profile):
+        node = Node(node_id=0, capacity_bytes=256 * MIB, cached_accounting=False)
+        sandbox = make_sandbox(linalg_profile)
+        node.admit(sandbox)
+        assert node.used_bytes() == node.recomputed_used_bytes()
+
+
 class TestEvictionCandidates:
     def test_lru_ordering(self, node, linalg_profile):
         old = make_sandbox(linalg_profile, created=0.0)
@@ -72,21 +140,3 @@ class TestEvictionCandidates:
         for s in (busy, base, idle):
             node.admit(s)
         assert node.eviction_candidates() == [idle]
-
-
-class TestLeastUsedNode:
-    def test_picks_emptiest(self, linalg_profile):
-        a = Node(node_id=0, capacity_bytes=256 * MIB)
-        b = Node(node_id=1, capacity_bytes=256 * MIB)
-        sandbox = make_sandbox(linalg_profile, node_id=0)
-        a.admit(sandbox)
-        assert least_used_node([a, b]) is b
-
-    def test_tie_breaks_by_id(self):
-        a = Node(node_id=0, capacity_bytes=1)
-        b = Node(node_id=1, capacity_bytes=1)
-        assert least_used_node([b, a]) is a
-
-    def test_empty_list_rejected(self):
-        with pytest.raises(ValueError):
-            least_used_node([])

@@ -122,6 +122,25 @@ class TestPeriodic:
         with pytest.raises(SimulationError):
             sim.every(0.0, lambda: None)
 
+    def test_every_cancel_from_inside_callback_stops_series(self):
+        """Regression: cancelling the series from its own callback used
+        to be ignored — tick() re-armed onto a fresh entry after the
+        callback returned, so the cancelled flag was lost and the series
+        ran forever."""
+        sim = Simulator()
+        ticks = []
+        holder = {}
+
+        def tick():
+            ticks.append(sim.now)
+            if len(ticks) == 2:
+                holder["timer"].cancel()
+
+        holder["timer"] = sim.every(10.0, tick)
+        sim.run_until(100.0)
+        assert ticks == [10.0, 20.0]
+        assert sim.pending_events == 0
+
 
 class TestRunUntil:
     def test_stops_at_boundary(self):
