@@ -46,6 +46,7 @@ from repro.platform.metrics import (
     RestoreOpRecord,
     RunMetrics,
     StartType,
+    TierOpRecord,
 )
 from repro.sandbox.checkpoint import BaseCheckpoint, CheckpointStore
 from repro.sandbox.node import Node
@@ -53,6 +54,8 @@ from repro.sandbox.sandbox import Sandbox
 from repro.sandbox.state import SandboxState
 from repro.sim.engine import Simulator, Timer
 from repro.sim.network import PeerUnavailable
+from repro.storage.store import TieredCheckpointStore
+from repro.storage.tiers import StorageTier
 from repro.workload.functionbench import FunctionBenchSuite
 from repro.workload.trace import Request
 from repro._util import rng_for
@@ -115,6 +118,15 @@ class ClusterController:
         self._instance_counter = 0
         self._draining = False
         self.indexed = config.indexed_control_plane
+        self.tiering = config.checkpoint_tiering
+        self.tiered_store: TieredCheckpointStore | None = (
+            store if isinstance(store, TieredCheckpointStore) else None
+        )
+        if self.tiering and self.tiered_store is None:
+            raise ValueError("checkpoint_tiering requires a TieredCheckpointStore")
+        self._cold: dict[int, Sandbox] = {}
+        """Dedup sandboxes whose table is parked on SSD, in demote order
+        (the SSD-pressure LRU; tiering only)."""
         self._index = SandboxIndex()
         self._usage = NodeUsageIndex(nodes)
         if self.indexed:
@@ -343,6 +355,12 @@ class ClusterController:
         """
         assert sandbox.dedup_table is not None
         agent = self.agents[sandbox.node_id]
+        promote_ms = 0.0
+        if self.tiering:
+            # Read a parked ("dedup-cold") table back from SSD and bring
+            # hot demoted checkpoints home before the restore proper.
+            promote_ms += self._promote_table(sandbox)
+            promote_ms += self._promote_checkpoints(sandbox.dedup_table)
         try:
             outcome = agent.restore(
                 sandbox.dedup_table, verify=self.config.verify_restores
@@ -354,6 +372,7 @@ class ClusterController:
         sandbox.busy_request_id = request.request_id
         sandbox.transition(SandboxState.RESTORING, self.sim.now)
         timings = outcome.timings
+        startup_ms = timings.total_ms + promote_ms
         self.metrics.restore_ops.append(
             RestoreOpRecord(
                 function=sandbox.function,
@@ -362,13 +381,18 @@ class ClusterController:
                 base_read_ms=timings.base_read_ms,
                 compute_ms=timings.compute_ms,
                 restore_ms=timings.restore_ms,
+                prefetched=timings.prefetched,
+                miss_read_ms=timings.miss_read_ms,
+                prefetch_hit_pages=timings.prefetch_hit_pages,
+                prefetch_miss_pages=timings.prefetch_miss_pages,
+                promote_ms=promote_ms,
             )
         )
         if sandbox.function in self.stats:
-            self.stats[sandbox.function].record_dedup_start(timings.total_ms)
+            self.stats[sandbox.function].record_dedup_start(startup_ms)
         record.start_type = StartType.DEDUP
         record.queued_ms = self.sim.now - record.arrival_ms
-        record.startup_ms = timings.total_ms
+        record.startup_ms = startup_ms
 
         def finish_restore() -> None:
             table = sandbox.dedup_table
@@ -384,7 +408,7 @@ class ClusterController:
             self.basemgr.note_dedup(sandbox.function, -1)
             self._run_request(sandbox, request, record, already_started=True)
 
-        self.sim.after(timings.total_ms, finish_restore)
+        self.sim.after(startup_ms, finish_restore)
         return True
 
     def _start_cold(
@@ -460,6 +484,10 @@ class ClusterController:
         work indefinitely.
         """
         victims = node.eviction_candidates(self.config.eviction_order)
+        if self.tiering:
+            # Dedup-cold sandboxes hold no DRAM (their table is on SSD);
+            # purging them frees nothing and destroys restorable state.
+            victims = [s for s in victims if s.table_tier is None]
         if include_bases:
             unpinned_bases = [
                 s
@@ -509,7 +537,16 @@ class ClusterController:
                 victims = self._eviction_candidates(node, include_bases=include_bases)
                 if not victims:
                     break
-                self._purge(victims[0], reason="evicted")
+                victim = victims[0]
+                if (
+                    self.tiering
+                    and victim.state is SandboxState.DEDUP
+                    and self._demote_table(victim)
+                ):
+                    # Demote-before-purge: the table moved to SSD, its
+                    # DRAM is free and the sandbox stays restorable.
+                    continue
+                self._purge(victim, reason="evicted")
                 self.metrics.evictions += 1
             if node.fits(needed_bytes):
                 return node
@@ -620,7 +657,149 @@ class ClusterController:
 
     def _on_keep_dedup_expiry(self, sandbox: Sandbox) -> None:
         if sandbox.state is SandboxState.DEDUP and sandbox.busy_request_id is None:
+            if self.tiering and self._demote_table(sandbox):
+                # Dedup-cold: the patch table parks on SSD instead of
+                # dying; the sandbox stays restorable at SSD read cost.
+                return
             self._purge(sandbox, reason="keep-dedup")
+
+    # ------------------------------------------------------------- tiering
+
+    def _demote_table(self, sandbox: Sandbox) -> bool:
+        """Park a DEDUP sandbox's patch table on its node's SSD.
+
+        Returns False when the sandbox is no longer demotable (already
+        cold, or reclaimed by a re-entrant dispatch while we purged cold
+        victims for SSD room) or when the SSD cannot make room.
+        """
+        store = self.tiered_store
+        assert store is not None
+        if sandbox.table_tier is not None:
+            return False
+        table = sandbox.dedup_table
+        assert table is not None
+        nbytes = table.retained_full_bytes
+        node_id = sandbox.node_id
+        while not store.ssd_fits(node_id, nbytes):
+            # SSD pressure: retire the oldest cold table on this node.
+            victim = next(
+                (s for s in self._cold.values() if s.node_id == node_id), None
+            )
+            if victim is None:
+                return False
+            self._purge(victim, reason="ssd-pressure")
+            if not (
+                sandbox.state is SandboxState.DEDUP
+                and sandbox.busy_request_id is None
+                and sandbox.table_tier is None
+            ):
+                # The purge re-entered the dispatcher and this sandbox
+                # was claimed for a restore meanwhile.
+                return False
+        cost_ms = store.demote_table(sandbox.sandbox_id, node_id, nbytes)
+        self._timers_for(sandbox).cancel_all()
+        sandbox.table_tier = StorageTier.LOCAL_SSD
+        self.nodes[node_id].recharge_sandbox(sandbox.sandbox_id)
+        self._cold[sandbox.sandbox_id] = sandbox
+        self.metrics.table_demotions += 1
+        self.metrics.tier_ops.append(
+            TierOpRecord(
+                time_ms=self.sim.now,
+                kind="demote",
+                subject="table",
+                tier=StorageTier.LOCAL_SSD.value,
+                nbytes=nbytes,
+                cost_ms=cost_ms,
+            )
+        )
+        self._drain_queue()  # the freed DRAM may admit queued work
+        return True
+
+    def _promote_table(self, sandbox: Sandbox) -> float:
+        """Read a parked table back from SSD for a restore; returns the
+        charged read cost (0.0 when the table was never parked)."""
+        store = self.tiered_store
+        assert store is not None
+        location = store.table_location(sandbox.sandbox_id)
+        if location is None:
+            return 0.0
+        _node_id, nbytes = location
+        cost_ms = store.promote_table(sandbox.sandbox_id)
+        sandbox.table_tier = None
+        self.nodes[sandbox.node_id].recharge_sandbox(sandbox.sandbox_id)
+        self._cold.pop(sandbox.sandbox_id, None)
+        self.metrics.table_promotions += 1
+        self.metrics.tier_ops.append(
+            TierOpRecord(
+                time_ms=self.sim.now,
+                kind="promote",
+                subject="table",
+                tier=StorageTier.NODE_DRAM.value,
+                nbytes=nbytes,
+                cost_ms=cost_ms,
+            )
+        )
+        return cost_ms
+
+    def _promote_checkpoints(self, table) -> float:
+        """Bring demoted base checkpoints a restore will read back into
+        their node's DRAM, where it has room; returns the charged cost.
+
+        A popular base paying tier reads on every restore earns its DRAM
+        back the first time a restore touches it on an unloaded node;
+        checkpoints on full (or unreachable) nodes stay demoted and the
+        restore reads through at tier cost instead.
+        """
+        store = self.tiered_store
+        assert store is not None
+        fabric = next(iter(self.agents.values())).fabric
+        total_ms = 0.0
+        for checkpoint_id in sorted(table.base_refs):
+            checkpoint = store.get(checkpoint_id)
+            if checkpoint.tier is StorageTier.NODE_DRAM:
+                continue
+            if not fabric.peer_available(checkpoint.node_id):
+                continue
+            node = self.nodes[checkpoint.node_id]
+            if not node.fits(checkpoint.full_size_bytes):
+                continue
+            move = store.promote_checkpoint(checkpoint)
+            node.recharge_checkpoint(checkpoint.checkpoint_id)
+            self.metrics.checkpoint_promotions += 1
+            self.metrics.tier_ops.append(
+                TierOpRecord(
+                    time_ms=self.sim.now,
+                    kind="promote",
+                    subject="checkpoint",
+                    tier=StorageTier.NODE_DRAM.value,
+                    nbytes=move.nbytes,
+                    cost_ms=move.cost_ms,
+                )
+            )
+            total_ms += move.cost_ms
+        return total_ms
+
+    def _demote_checkpoint(self, checkpoint: BaseCheckpoint) -> bool:
+        """Move a pinned, ownerless checkpoint off node DRAM (far-memory
+        pool first, node SSD as overflow)."""
+        store = self.tiered_store
+        assert store is not None
+        move = store.demote_checkpoint(checkpoint)
+        if move is None:
+            return False
+        self.nodes[checkpoint.node_id].recharge_checkpoint(checkpoint.checkpoint_id)
+        self.metrics.checkpoint_demotions += 1
+        self.metrics.tier_ops.append(
+            TierOpRecord(
+                time_ms=self.sim.now,
+                kind="demote",
+                subject="checkpoint",
+                tier=move.tier.value,
+                nbytes=move.nbytes,
+                cost_ms=move.cost_ms,
+            )
+        )
+        return True
 
     # -------------------------------------------------------------- dedup
 
@@ -796,6 +975,10 @@ class ClusterController:
             assert sandbox.dedup_table is not None
             self._release_base_refs(sandbox.dedup_table)
             self.basemgr.note_dedup(sandbox.function, -1)
+            if self.tiering:
+                assert self.tiered_store is not None
+                self.tiered_store.release_table(sandbox.sandbox_id)
+                self._cold.pop(sandbox.sandbox_id, None)
         sandbox.transition(SandboxState.PURGED, self.sim.now)
         sandbox.dedup_table = None
         sandbox.image = None
@@ -807,5 +990,10 @@ class ClusterController:
             # The copy-on-write discount ends with the owner: re-account
             # the pinned checkpoint at its full footprint.
             self.nodes[checkpoint.node_id].recharge_checkpoint(checkpoint.checkpoint_id)
+            if self.tiering and checkpoint.pinned:
+                # Rather than charge the full footprint to DRAM, move
+                # the ownerless-but-pinned checkpoint down a tier; a
+                # later restore promotes it back if DRAM has room.
+                self._demote_checkpoint(checkpoint)
             self._maybe_retire_checkpoint(checkpoint)
         self._drain_queue()

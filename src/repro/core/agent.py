@@ -59,6 +59,9 @@ from repro.memory.patch import (
 from repro.sandbox.checkpoint import BaseCheckpoint, CheckpointStore
 from repro.sandbox.sandbox import Sandbox
 from repro.sim.network import RdmaFabric
+from repro.storage.prefetch import WorkingSetRecorder
+from repro.storage.store import TieredCheckpointStore
+from repro.storage.tiers import StorageTier
 
 #: Full-scale metadata bytes per page entry of a dedup table (base page
 #: address + patch descriptor), part of the dedup footprint.
@@ -200,7 +203,13 @@ class DedupOutcome:
 
 @dataclass(frozen=True)
 class RestoreTimings:
-    """Phase durations of one restore op — the Figure 8 breakdown."""
+    """Phase durations of one restore op — the Figure 8 breakdown.
+
+    With checkpoint tiering, a recorded-working-set restore issues its
+    base reads as one prefetch that overlaps patch application, so the
+    total charges ``max(base_read, compute)`` plus a serial demand-miss
+    read; first-touch restores keep the serial sum.
+    """
 
     base_read_ms: float
     """'Dedup: base page reading'."""
@@ -208,10 +217,20 @@ class RestoreTimings:
     """'Dedup: original page computing' (patch application)."""
     restore_ms: float
     """'Dedup: sandbox restoration' (checkpoint resume)."""
+    prefetched: bool = False
+    """Base reads overlapped compute (recorded working set)."""
+    miss_read_ms: float = 0.0
+    """Serial read of pages the recorded working set lacked."""
+    prefetch_hit_pages: int = 0
+    prefetch_miss_pages: int = 0
 
     @property
     def total_ms(self) -> float:
-        return self.base_read_ms + self.compute_ms + self.restore_ms
+        if self.prefetched:
+            fetch = max(self.base_read_ms, self.compute_ms) + self.miss_read_ms
+        else:
+            fetch = self.base_read_ms + self.compute_ms
+        return fetch + self.restore_ms
 
 
 @dataclass(frozen=True)
@@ -237,15 +256,23 @@ class DedupAgent:
         unique_threshold: float = UNIQUE_THRESHOLD,
         base_page_cache_pages: int = BASE_PAGE_CACHE_PAGES,
         anchor_index_cache_pages: int = ANCHOR_INDEX_CACHE_PAGES,
+        tiering: bool = False,
+        recorder: WorkingSetRecorder | None = None,
     ):
         if not 0 < content_scale <= 1:
             raise ValueError("content_scale must be in (0, 1]")
+        if tiering and not isinstance(store, TieredCheckpointStore):
+            raise ValueError("tiering requires a TieredCheckpointStore")
         self.node_id = node_id
         self.registry = registry
         self.store = store
         self.fabric = fabric
         self.costs = costs
         self.content_scale = content_scale
+        self.tiering = tiering
+        self.recorder = recorder
+        """Restore working-set recorder, shared cluster-wide (tiering
+        with prefetch only; None disables recording)."""
         self.fingerprint_config = fingerprint_config or FingerprintConfig()
         self.patch_level = patch_level
         self.unique_threshold = unique_threshold
@@ -564,11 +591,23 @@ class DedupAgent:
         # controller falls back to a cold start.
         full_pages = self._full_pages(len(table.entries))
         scale_up = full_pages / max(1, len(table.entries))
-        read_plan = {
-            peer: (int(count * scale_up), int(count * scale_up) * page_size)
-            for peer, count in reads_by_peer.items()
-        }
-        base_read_ms = self.fabric.batch_read_ms(read_plan, local_peer=self.node_id)
+        if self.tiering:
+            (
+                base_read_ms,
+                prefetched,
+                miss_read_ms,
+                hit_pages,
+                miss_pages,
+            ) = self._tiered_base_read(table, page_size, scale_up)
+        else:
+            read_plan = {
+                peer: (int(count * scale_up), int(count * scale_up) * page_size)
+                for peer, count in reads_by_peer.items()
+            }
+            base_read_ms = self.fabric.batch_read_ms(read_plan, local_peer=self.node_id)
+            prefetched = False
+            miss_read_ms = 0.0
+            hit_pages = miss_pages = 0
 
         # Zero-initialized buffer: zero pages are already materialized.
         data = np.zeros(len(table.entries) * page_size, dtype=np.uint8)
@@ -609,6 +648,114 @@ class DedupAgent:
             base_read_ms=base_read_ms,
             compute_ms=self.costs.patch_apply_ms(max(1, round(patched * scale_up))),
             restore_ms=self.costs.restore_fixed_ms,
+            prefetched=prefetched,
+            miss_read_ms=miss_read_ms,
+            prefetch_hit_pages=hit_pages,
+            prefetch_miss_pages=miss_pages,
         )
         self.restore_ops += 1
         return RestoreOutcome(image=image, timings=timings)
+
+    # ------------------------------------------------------ tiered reads
+
+    def _tiered_base_read(
+        self, table: DedupPageTable, page_size: int, scale_up: float
+    ) -> tuple[float, bool, float, int, int]:
+        """Base-read costing under checkpoint tiering (DESIGN.md §9).
+
+        Returns ``(base_read_ms, prefetched, miss_read_ms, hit_pages,
+        miss_pages)``.  On the first restore of a (function, base set)
+        key, every base page is demand-read serially and the exact set
+        of fetched pages is recorded; later restores issue the recorded
+        set as one batched prefetch (``base_read_ms`` overlaps patch
+        compute) and only demand-read the recording's misses.
+        """
+        assert isinstance(self.store, TieredCheckpointStore)
+        needed_cids = sorted(table.base_refs.keys())
+        # Validate every involved node's reachability up front: a restore
+        # either proceeds in full or fails fast to the cold fallback,
+        # with no cost charged — SSD-resident state shares its owning
+        # node's failure domain, the far-memory pool has none.
+        for checkpoint_id in needed_cids:
+            checkpoint = self.store.get(checkpoint_id)
+            if (
+                checkpoint.tier is not StorageTier.REMOTE_DRAM
+                and checkpoint.node_id != self.node_id
+            ):
+                self.fabric.require_peer(checkpoint.node_id)
+
+        recorded = None
+        key = None
+        if self.recorder is not None:
+            key = WorkingSetRecorder.key_for(table.function, needed_cids)
+            recorded = self.recorder.lookup(key)
+
+        hit_by_checkpoint: Counter[int] = Counter()
+        miss_by_checkpoint: Counter[int] = Counter()
+        for entry in table.entries:
+            if entry.kind is not PageKind.PATCHED:
+                continue
+            assert entry.base is not None
+            address = (entry.base.checkpoint_id, entry.base.page_index)
+            if recorded is not None and address in recorded:
+                hit_by_checkpoint[entry.base.checkpoint_id] += 1
+            else:
+                miss_by_checkpoint[entry.base.checkpoint_id] += 1
+
+        if recorded is None:
+            # First touch: one serial demand read, then record the set.
+            base_read_ms = self._channel_read_ms(
+                miss_by_checkpoint, page_size, scale_up
+            )
+            if self.recorder is not None and key is not None:
+                self.recorder.record(
+                    key,
+                    frozenset(
+                        (entry.base.checkpoint_id, entry.base.page_index)
+                        for entry in table.entries
+                        if entry.kind is PageKind.PATCHED and entry.base is not None
+                    ),
+                )
+            return base_read_ms, False, 0.0, 0, 0
+
+        base_read_ms = self._channel_read_ms(hit_by_checkpoint, page_size, scale_up)
+        miss_read_ms = self._channel_read_ms(miss_by_checkpoint, page_size, scale_up)
+        hit_pages = int(sum(hit_by_checkpoint.values()) * scale_up)
+        miss_pages = int(sum(miss_by_checkpoint.values()) * scale_up)
+        assert self.recorder is not None
+        self.recorder.note_prefetch(hit_pages, miss_pages)
+        return base_read_ms, True, miss_read_ms, hit_pages, miss_pages
+
+    def _channel_read_ms(
+        self, counts_by_checkpoint: Counter[int], page_size: int, scale_up: float
+    ) -> float:
+        """One batched multi-channel fetch of base pages by residency.
+
+        Node-DRAM pages go over the RDMA fabric (pipelined per peer),
+        far-memory pages over the pool link, SSD pages through each
+        owning node's drive; the channels proceed in parallel, so the
+        cost is the slowest channel — the same shape as
+        :meth:`RdmaFabric.batch_read_ms`.
+        """
+        assert isinstance(self.store, TieredCheckpointStore)
+        config = self.store.config
+        fabric_plan: dict[int, tuple[int, int]] = {}
+        remote_dram_bytes = 0
+        ssd_bytes: Counter[int] = Counter()
+        for checkpoint_id in sorted(counts_by_checkpoint):
+            checkpoint = self.store.get(checkpoint_id)
+            ops = int(counts_by_checkpoint[checkpoint_id] * scale_up)
+            nbytes = ops * page_size
+            if checkpoint.tier is StorageTier.NODE_DRAM:
+                prev_ops, prev_bytes = fabric_plan.get(checkpoint.node_id, (0, 0))
+                fabric_plan[checkpoint.node_id] = (prev_ops + ops, prev_bytes + nbytes)
+            elif checkpoint.tier is StorageTier.REMOTE_DRAM:
+                remote_dram_bytes += nbytes
+            else:
+                ssd_bytes[checkpoint.node_id] += nbytes
+        cost = self.fabric.batch_read_ms(fabric_plan, local_peer=self.node_id)
+        if remote_dram_bytes:
+            cost = max(cost, config.remote_dram_read_ms(remote_dram_bytes))
+        for node_id in sorted(ssd_bytes):
+            cost = max(cost, config.ssd_read_ms(ssd_bytes[node_id]))
+        return cost

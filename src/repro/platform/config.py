@@ -10,6 +10,7 @@ from repro.core.costs import CostModel
 from repro.memory.fingerprint import FingerprintConfig
 from repro.sandbox.node import EvictionOrder
 from repro.sim.network import RdmaConfig
+from repro.storage.tiers import StorageConfig
 from repro.workload.functionbench import FunctionProfile
 
 
@@ -79,6 +80,15 @@ class ClusterConfig:
     verify_accounting: bool = False
     """Debug: assert every node's cached used-bytes counter against the
     recomputed per-resident sum on every read (slow; tests enable it)."""
+    checkpoint_tiering: bool = False
+    """Tiered checkpoint storage (DESIGN.md §9): under pressure, demote
+    base checkpoints to remote DRAM / local SSD and park expired dedup
+    patch tables on SSD instead of purging; restores prefetch recorded
+    working sets.  Off (the default) reproduces the Medes paper's
+    DRAM-only behaviour bit-identically."""
+    storage: StorageConfig = field(default_factory=StorageConfig)
+    """Capacities and device timings of the non-DRAM tiers (only read
+    when ``checkpoint_tiering`` is on)."""
 
     def __post_init__(self) -> None:
         if self.nodes <= 0:

@@ -88,7 +88,12 @@ class BaseOpRecord:
 
 @dataclass(frozen=True)
 class RestoreOpRecord:
-    """One restore op (dedup start) with the Figure-8 phase breakdown."""
+    """One restore op (dedup start) with the Figure-8 phase breakdown.
+
+    The tiering fields keep their zero defaults when checkpoint tiering
+    is off, so untieried records — and whole ``RunMetrics`` — compare
+    equal to the pre-tiering code's.
+    """
 
     function: str
     sandbox_id: int
@@ -96,10 +101,24 @@ class RestoreOpRecord:
     base_read_ms: float
     compute_ms: float
     restore_ms: float
+    prefetched: bool = False
+    """Base reads were issued as one recorded-working-set prefetch
+    overlapping patch application (DESIGN.md §9)."""
+    miss_read_ms: float = 0.0
+    """Serial demand-miss read of pages the recording lacked."""
+    prefetch_hit_pages: int = 0
+    prefetch_miss_pages: int = 0
+    promote_ms: float = 0.0
+    """Charged tier promotions (parked table read-back, checkpoint
+    promotion) serialized before the restore proper."""
 
     @property
     def total_ms(self) -> float:
-        return self.base_read_ms + self.compute_ms + self.restore_ms
+        if self.prefetched:
+            fetch = max(self.base_read_ms, self.compute_ms) + self.miss_read_ms
+        else:
+            fetch = self.base_read_ms + self.compute_ms
+        return fetch + self.restore_ms + self.promote_ms
 
 
 @dataclass(frozen=True)
@@ -111,6 +130,32 @@ class MemorySample:
     warm_count: int
     dedup_count: int
     total_sandboxes: int
+
+
+@dataclass(frozen=True)
+class TierOpRecord:
+    """One charged tier move (demotion or promotion), tiering only."""
+
+    time_ms: float
+    kind: str
+    """"demote" or "promote"."""
+    subject: str
+    """"checkpoint" or "table"."""
+    tier: str
+    """Destination tier value (e.g. "local-ssd")."""
+    nbytes: int
+    cost_ms: float
+
+
+@dataclass(frozen=True)
+class TierSample:
+    """Occupancy of the non-DRAM tiers at one sampling instant."""
+
+    time_ms: float
+    remote_dram_bytes: int
+    ssd_bytes: int
+    cold_tables: int
+    """Dedup sandboxes whose patch table is parked on SSD."""
 
 
 @dataclass
@@ -127,6 +172,22 @@ class RunMetrics:
     prewarm_spawns: int = 0
     sandboxes_created: int = 0
     bases_created: int = 0
+    tier_ops: list[TierOpRecord] = field(default_factory=list)
+    """Charged demotions/promotions (empty unless checkpoint tiering)."""
+    tier_timeline: list[TierSample] = field(default_factory=list)
+    """Sampled non-DRAM tier occupancy (empty unless checkpoint tiering)."""
+    checkpoint_demotions: int = 0
+    checkpoint_promotions: int = 0
+    table_demotions: int = 0
+    """Dedup patch tables parked on SSD instead of purged ("dedup-cold")."""
+    table_promotions: int = 0
+    """Parked tables read back for a restore."""
+    prefetch_recordings: int = 0
+    """Restore working sets recorded (first restores of a key)."""
+    prefetched_restores: int = 0
+    """Restores whose base reads were issued as one recorded prefetch."""
+    prefetch_hit_pages: int = 0
+    prefetch_miss_pages: int = 0
     outstanding_requests: int = 0
     """Arrived-but-not-completed requests, maintained by
     :meth:`on_arrival`/:meth:`on_completion` so the platform's drain

@@ -18,11 +18,14 @@ from repro.core.basemgr import BaseSandboxManager
 from repro.core.policy import FunctionStats, LifecyclePolicy, MedesPolicy, MedesPolicyConfig
 from repro.core.registry import FingerprintRegistry, ShardedFingerprintRegistry
 from repro.platform.config import ClusterConfig, ColdStartMode
-from repro.platform.metrics import MemorySample, RunMetrics
+from repro.platform.metrics import MemorySample, RunMetrics, TierSample
 from repro.sandbox.checkpoint import CheckpointStore
 from repro.sandbox.node import Node
 from repro.sim.engine import Simulator
 from repro.sim.network import RdmaFabric
+from repro.storage.prefetch import WorkingSetRecorder
+from repro.storage.store import TieredCheckpointStore
+from repro.storage.tiers import StorageTier
 from repro.workload.functionbench import FunctionBenchSuite
 from repro.workload.trace import Trace
 
@@ -94,7 +97,16 @@ class Platform:
             self.registry = FingerprintRegistry(
                 config.fingerprint, max_refs_per_digest=config.max_refs_per_digest
             )
-        self.store = CheckpointStore()
+        if config.checkpoint_tiering:
+            self.store: CheckpointStore = TieredCheckpointStore(
+                config.storage, nodes=config.nodes
+            )
+            self.recorder = (
+                WorkingSetRecorder() if config.storage.prefetch else None
+            )
+        else:
+            self.store = CheckpointStore()
+            self.recorder = None
         self.basemgr = BaseSandboxManager(self.store, threshold=config.base_threshold)
         self.nodes = [
             Node(
@@ -114,6 +126,8 @@ class Platform:
                 costs=config.costs,
                 content_scale=config.content_scale,
                 fingerprint_config=config.fingerprint,
+                tiering=config.checkpoint_tiering,
+                recorder=self.recorder,
             )
             for node in self.nodes
         }
@@ -184,6 +198,16 @@ class Platform:
                 total_sandboxes=total,
             )
         )
+        if isinstance(self.store, TieredCheckpointStore):
+            occupancy = self.store.tier_used_bytes()
+            self.metrics.tier_timeline.append(
+                TierSample(
+                    time_ms=self.sim.now,
+                    remote_dram_bytes=occupancy[StorageTier.REMOTE_DRAM],
+                    ssd_bytes=occupancy[StorageTier.LOCAL_SSD],
+                    cold_tables=len(self.controller._cold),
+                )
+            )
 
     def run(self, trace: Trace, *, tail_ms: float = RUN_TAIL_MS) -> RunReport:
         """Replay ``trace`` to completion and collect metrics.
@@ -212,6 +236,11 @@ class Platform:
             self.sim.run_until(end)
             if guard > 10_000:
                 raise RuntimeError("run did not drain; requests stuck in queue")
+        if self.recorder is not None:
+            self.metrics.prefetch_recordings = self.recorder.recordings
+            self.metrics.prefetched_restores = self.recorder.prefetched_restores
+            self.metrics.prefetch_hit_pages = self.recorder.hit_pages
+            self.metrics.prefetch_miss_pages = self.recorder.miss_pages
         return RunReport(
             platform_name=self.name,
             config=self.config,

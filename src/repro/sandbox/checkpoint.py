@@ -21,6 +21,7 @@ import itertools
 from dataclasses import dataclass, field
 
 from repro.memory.image import MemoryImage
+from repro.storage.tiers import StorageTier
 
 _checkpoint_ids = itertools.count(1)
 
@@ -43,6 +44,16 @@ class BaseCheckpoint:
     owner_resident: bool = True
     registered: bool = False
     """Whether this checkpoint's pages populate the fingerprint registry."""
+    tier: StorageTier = StorageTier.NODE_DRAM
+    """Residency tier; only :class:`repro.storage.store.TieredCheckpointStore`
+    moves it off ``NODE_DRAM``."""
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.cow_overhead_fraction <= 1.0:
+            raise ValueError(
+                f"cow_overhead_fraction must be in [0, 1], "
+                f"got {self.cow_overhead_fraction}"
+            )
 
     def acquire(self, count: int = 1) -> None:
         """Add references from a dedup sandbox's page table."""
@@ -70,8 +81,12 @@ class BaseCheckpoint:
         """Accounting charge of this checkpoint on its node.
 
         Copy-on-write with the resident owner is nearly free; once the
-        owner is purged the frozen pages are charged in full.
+        owner is purged the frozen pages are charged in full.  A
+        checkpoint demoted off node DRAM is charged to its tier's
+        account instead (checkpoint tiering).
         """
+        if self.tier is not StorageTier.NODE_DRAM:
+            return 0
         if self.owner_resident:
             return int(self.full_size_bytes * self.cow_overhead_fraction)
         return self.full_size_bytes
@@ -92,11 +107,17 @@ class CheckpointStore:
 
     def __init__(self) -> None:
         self._by_id: dict[int, BaseCheckpoint] = {}
+        # Per-function index so for_function never scans the cluster
+        # (same discipline as the controller's SandboxIndex, PR 2).
+        self._by_function: dict[str, dict[int, BaseCheckpoint]] = {}
 
     def add(self, checkpoint: BaseCheckpoint) -> None:
         if checkpoint.checkpoint_id in self._by_id:
             raise ValueError(f"duplicate checkpoint id {checkpoint.checkpoint_id}")
         self._by_id[checkpoint.checkpoint_id] = checkpoint
+        self._by_function.setdefault(checkpoint.function, {})[
+            checkpoint.checkpoint_id
+        ] = checkpoint
 
     def get(self, checkpoint_id: int) -> BaseCheckpoint:
         try:
@@ -111,11 +132,15 @@ class CheckpointStore:
             raise RuntimeError(
                 f"checkpoint {checkpoint_id} still referenced ({checkpoint.refcount})"
             )
+        bucket = self._by_function[checkpoint.function]
+        del bucket[checkpoint_id]
+        if not bucket:
+            del self._by_function[checkpoint.function]
         return self._by_id.pop(checkpoint_id)
 
     def for_function(self, function: str) -> list[BaseCheckpoint]:
-        """All live base checkpoints of ``function``."""
-        return [c for c in self._by_id.values() if c.function == function]
+        """All live base checkpoints of ``function`` (indexed, O(result))."""
+        return list(self._by_function.get(function, {}).values())
 
     def __len__(self) -> int:
         return len(self._by_id)

@@ -173,6 +173,16 @@ class Node:
         self._apply_delta(-self._checkpoint_charges.pop(checkpoint_id))
         return checkpoint
 
+    def recharge_sandbox(self, sandbox_id: int) -> None:
+        """Re-account a resident sandbox whose charge changed *without*
+        a lifecycle transition — a dedup table demoted to (or promoted
+        from) a lower storage tier flips ``table_tier`` in place."""
+        sandbox = self.sandboxes[sandbox_id]
+        charged = self._sandbox_charges[sandbox_id]
+        new_charge = sandbox.memory_bytes()
+        self._sandbox_charges[sandbox_id] = new_charge
+        self._apply_delta(new_charge - charged)
+
     def recharge_checkpoint(self, checkpoint_id: int) -> None:
         """Re-account a pinned checkpoint whose charge changed.
 

@@ -13,6 +13,7 @@ from repro.sandbox.state import (
     SandboxState,
     check_transition,
 )
+from repro.storage.tiers import StorageTier
 from repro.workload.functionbench import FunctionProfile
 
 #: Signature of a transition observer: (sandbox, old_state, new_state).
@@ -53,6 +54,9 @@ class Sandbox:
     busy_request_id: int | None = None
     is_base: bool = False
     base_checkpoint_id: int | None = None
+    table_tier: StorageTier | None = None
+    """Residency of the dedup page table when off node DRAM (the
+    "dedup-cold" state, checkpoint tiering only); ``None`` means DRAM."""
     served_requests: int = 0
     dedup_count: int = 0
     observers: list[TransitionObserver] = field(default_factory=list, compare=False)
@@ -117,6 +121,8 @@ class Sandbox:
             raise RuntimeError(f"sandbox {self.sandbox_id} in {self.state} without dedup table")
         retained = self.dedup_table.retained_full_bytes
         if self.state is SandboxState.DEDUP:
+            if self.table_tier is not None:
+                return 0  # table parked on a lower tier ("dedup-cold")
             return retained
         if self.state is SandboxState.RESTORING:
             return full + retained

@@ -33,7 +33,15 @@ class RdmaConfig:
     """Cost of a local memory copy, per KiB."""
 
     def __post_init__(self) -> None:
-        if min(self.read_latency_us, self.pipelined_op_us, self.bandwidth_gbps) <= 0:
+        if (
+            min(
+                self.read_latency_us,
+                self.pipelined_op_us,
+                self.bandwidth_gbps,
+                self.local_copy_us_per_kb,
+            )
+            <= 0
+        ):
             raise ValueError("RDMA parameters must be positive")
 
 
@@ -82,6 +90,14 @@ class RdmaFabric:
 
     def peer_available(self, peer: object) -> bool:
         return peer not in self._failed_peers
+
+    def require_peer(self, peer: object) -> None:
+        """Raise :class:`PeerUnavailable` if ``peer`` is unreachable.
+
+        For callers that charge non-fabric costs against a peer's local
+        storage (e.g. its SSD) and must share the fabric's failure
+        domain and ``failed_reads`` accounting."""
+        self._check_peer(peer)
 
     def _check_peer(self, peer: object) -> None:
         if peer in self._failed_peers:

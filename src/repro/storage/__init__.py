@@ -1,0 +1,42 @@
+"""Tiered checkpoint storage (DESIGN.md §9).
+
+The package splits into three modules:
+
+* :mod:`repro.storage.tiers` — the tier model (``StorageTier``), the
+  calibrated cost/capacity configuration (``StorageConfig``) and the
+  per-tier capacity accounts (``TierAccount``);
+* :mod:`repro.storage.store` — ``TieredCheckpointStore``, the
+  residency-aware checkpoint directory that subsumes
+  :class:`repro.sandbox.checkpoint.CheckpointStore`;
+* :mod:`repro.storage.prefetch` — the REAP-style recorded-working-set
+  restore prefetcher (``WorkingSetRecorder``).
+
+``repro.sandbox.checkpoint`` imports the tier enum from
+:mod:`repro.storage.tiers`, so this ``__init__`` must not import
+``store`` (which imports ``checkpoint`` back) eagerly; the heavier
+classes are re-exported lazily instead.
+"""
+
+from __future__ import annotations
+
+from repro.storage.tiers import StorageConfig, StorageTier, TierAccount
+
+__all__ = [
+    "StorageConfig",
+    "StorageTier",
+    "TierAccount",
+    "TieredCheckpointStore",
+    "WorkingSetRecorder",
+]
+
+
+def __getattr__(name: str):
+    if name == "TieredCheckpointStore":
+        from repro.storage.store import TieredCheckpointStore
+
+        return TieredCheckpointStore
+    if name == "WorkingSetRecorder":
+        from repro.storage.prefetch import WorkingSetRecorder
+
+        return WorkingSetRecorder
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

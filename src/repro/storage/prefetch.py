@@ -1,0 +1,68 @@
+"""REAP-style recorded-working-set restore prefetch.
+
+Ustiugov et al. observe that a snapshot restore touches a small, stable
+set of guest pages, so the set can be *recorded* on the first restore
+and *prefetched* — one batched read issued up front — on every later
+restore of the same snapshot.  Here the unit of recording is the pair
+(function, set of base checkpoints the dedup table patches against):
+two restores with the same key fetch the same base pages, because the
+page table maps each patched page to a fixed (checkpoint, page) address.
+
+On a recorded restore the agent issues the prefetch *before* patch
+application starts, so its cost overlaps the patch compute — the restore
+breakdown charges ``max(prefetch, compute)`` instead of their sum — and
+only the pages the recording missed (base pages the table references
+that the recorded set lacks, e.g. after a partial first restore) are
+charged as a serial demand-miss read afterwards.
+
+The recorder is deliberately first-wins: the first complete restore
+defines the working set, matching REAP's record-once semantics, and
+keeps replayed simulations deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: A recorded working set: the exact base pages a restore fetched,
+#: as (checkpoint_id, page_index) addresses.
+WorkingSet = frozenset[tuple[int, int]]
+
+#: Recorder key: (function, sorted tuple of base checkpoint ids).
+WorkingSetKey = tuple[str, tuple[int, ...]]
+
+
+@dataclass
+class WorkingSetRecorder:
+    """Record-once directory of restore working sets."""
+
+    _sets: dict[WorkingSetKey, WorkingSet] = field(default_factory=dict)
+    recordings: int = 0
+    """Working sets recorded (first restores)."""
+    prefetched_restores: int = 0
+    """Restores served from a recorded working set."""
+    hit_pages: int = 0
+    """Base pages covered by the recorded set across prefetched restores."""
+    miss_pages: int = 0
+    """Base pages demand-fetched despite a recorded set."""
+
+    @staticmethod
+    def key_for(function: str, checkpoint_ids: set[int] | list[int]) -> WorkingSetKey:
+        return (function, tuple(sorted(checkpoint_ids)))
+
+    def lookup(self, key: WorkingSetKey) -> WorkingSet | None:
+        return self._sets.get(key)
+
+    def record(self, key: WorkingSetKey, pages: WorkingSet) -> None:
+        """First-wins: a later recording never replaces an earlier one."""
+        if key not in self._sets:
+            self._sets[key] = pages
+            self.recordings += 1
+
+    def note_prefetch(self, hits: int, misses: int) -> None:
+        self.prefetched_restores += 1
+        self.hit_pages += hits
+        self.miss_pages += misses
+
+    def __len__(self) -> int:
+        return len(self._sets)

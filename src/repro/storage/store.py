@@ -1,0 +1,200 @@
+"""The residency-aware checkpoint directory (``TieredCheckpointStore``).
+
+Subsumes :class:`repro.sandbox.checkpoint.CheckpointStore` — the same
+cluster-wide directory of base checkpoints, with two additions:
+
+* every base checkpoint has a residency **tier**, and the store owns the
+  capacity accounting and charged demote/promote operations that move it
+  between ``NODE_DRAM``, the cluster-wide ``REMOTE_DRAM`` pool and the
+  owning node's ``LOCAL_SSD``; and
+* **dedup patch tables** of expired sandboxes can be parked on the
+  owning node's SSD (the "dedup-cold" residency) instead of being
+  purged, through the ``*_table`` methods.
+
+The store only moves bytes between *accounts* and returns the charged
+cost in milliseconds; the controller decides *when* to demote (eviction
+pressure, keep-dedup expiry) and the node's DRAM accounting reacts to
+the tier flip through ``recharge_checkpoint`` / ``recharge_sandbox``.
+
+Content is never dropped on demotion — the simulation's images stay
+addressable at any tier, which is what the demote→promote round-trip
+property test pins down.  Only the *cost* of reaching them changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sandbox.checkpoint import BaseCheckpoint, CheckpointStore
+from repro.storage.tiers import StorageConfig, StorageTier, TierAccount
+
+
+@dataclass(frozen=True)
+class TierMove:
+    """Outcome of one charged demote/promote operation."""
+
+    tier: StorageTier
+    """Where the state resides after the move."""
+    cost_ms: float
+    """Charged device/fabric time of the move."""
+    nbytes: int
+    """Full-scale bytes moved."""
+
+
+class TieredCheckpointStore(CheckpointStore):
+    """A :class:`CheckpointStore` whose checkpoints (and parked dedup
+    patch tables) have residency tiers with bounded capacities."""
+
+    def __init__(self, config: StorageConfig, *, nodes: int) -> None:
+        super().__init__()
+        self.config = config
+        self.remote_dram = TierAccount(config.remote_dram_capacity_bytes)
+        self.ssd: dict[int, TierAccount] = {
+            node_id: TierAccount(config.ssd_capacity_bytes) for node_id in range(nodes)
+        }
+        # sandbox_id -> (node_id, nbytes) of SSD-parked dedup tables.
+        self._tables: dict[int, tuple[int, int]] = {}
+        self.demotions = 0
+        self.promotions = 0
+
+    # ---------------------------------------------------- checkpoint tiers
+
+    def tier_of(self, checkpoint_id: int) -> StorageTier:
+        return self.get(checkpoint_id).tier
+
+    def _account_for(self, checkpoint: BaseCheckpoint) -> TierAccount | None:
+        if checkpoint.tier is StorageTier.REMOTE_DRAM:
+            return self.remote_dram
+        if checkpoint.tier is StorageTier.LOCAL_SSD:
+            return self.ssd[checkpoint.node_id]
+        return None
+
+    def demote_checkpoint(self, checkpoint: BaseCheckpoint) -> TierMove | None:
+        """Move a checkpoint out of node DRAM, if a lower tier has room.
+
+        Tries the far-memory pool first (cheaper reads), overflowing to
+        the owning node's SSD.  Returns ``None`` — and leaves the
+        checkpoint in DRAM — when neither tier fits.  The caller must
+        re-account the owning node (the DRAM charge drops to zero).
+
+        Only unshared-with-owner checkpoints demote: while the owner
+        sandbox is resident the pages are copy-on-write with it and
+        there is nothing separate to move.
+        """
+        if checkpoint.tier is not StorageTier.NODE_DRAM:
+            raise RuntimeError(
+                f"checkpoint {checkpoint.checkpoint_id} already demoted "
+                f"({checkpoint.tier.value})"
+            )
+        if checkpoint.owner_resident:
+            raise RuntimeError(
+                f"checkpoint {checkpoint.checkpoint_id} is CoW-shared with its "
+                "resident owner; nothing to demote"
+            )
+        nbytes = checkpoint.full_size_bytes
+        if self.remote_dram.fits(nbytes):
+            self.remote_dram.charge(nbytes)
+            checkpoint.tier = StorageTier.REMOTE_DRAM
+            cost_ms = self.config.remote_dram_write_ms(nbytes)
+        elif self.ssd[checkpoint.node_id].fits(nbytes):
+            self.ssd[checkpoint.node_id].charge(nbytes)
+            checkpoint.tier = StorageTier.LOCAL_SSD
+            cost_ms = self.config.ssd_write_ms(nbytes)
+        else:
+            return None
+        self.demotions += 1
+        return TierMove(tier=checkpoint.tier, cost_ms=cost_ms, nbytes=nbytes)
+
+    def promote_checkpoint(self, checkpoint: BaseCheckpoint) -> TierMove:
+        """Bring a demoted checkpoint back into node DRAM.
+
+        Charged at the *read* cost of its current tier (the write into
+        DRAM is the memcpy the fabric model already folds into local
+        copies).  The caller must have checked DRAM room and must
+        re-account the owning node afterwards.
+        """
+        account = self._account_for(checkpoint)
+        if account is None:
+            raise RuntimeError(
+                f"checkpoint {checkpoint.checkpoint_id} already in node DRAM"
+            )
+        nbytes = checkpoint.full_size_bytes
+        if checkpoint.tier is StorageTier.REMOTE_DRAM:
+            cost_ms = self.config.remote_dram_read_ms(nbytes)
+        else:
+            cost_ms = self.config.ssd_read_ms(nbytes)
+        account.release(nbytes)
+        checkpoint.tier = StorageTier.NODE_DRAM
+        self.promotions += 1
+        return TierMove(tier=StorageTier.NODE_DRAM, cost_ms=cost_ms, nbytes=nbytes)
+
+    def fetch_cost_ms(self, checkpoint: BaseCheckpoint, nbytes: int) -> float:
+        """One batched read of ``nbytes`` from wherever the checkpoint
+        lives, for restores that read through without promoting."""
+        if checkpoint.tier is StorageTier.REMOTE_DRAM:
+            return self.config.remote_dram_read_ms(nbytes)
+        if checkpoint.tier is StorageTier.LOCAL_SSD:
+            return self.config.ssd_read_ms(nbytes)
+        raise RuntimeError(
+            f"checkpoint {checkpoint.checkpoint_id} is in node DRAM; "
+            "reads go through the RDMA fabric"
+        )
+
+    def remove(self, checkpoint_id: int) -> BaseCheckpoint:
+        """Drop a checkpoint, releasing whatever tier account holds it."""
+        checkpoint = super().remove(checkpoint_id)
+        account = self._account_for(checkpoint)
+        if account is not None:
+            account.release(checkpoint.full_size_bytes)
+            checkpoint.tier = StorageTier.NODE_DRAM
+        return checkpoint
+
+    # ------------------------------------------------- dedup-cold tables
+
+    def ssd_fits(self, node_id: int, nbytes: int) -> bool:
+        return self.ssd[node_id].fits(nbytes)
+
+    def demote_table(self, sandbox_id: int, node_id: int, nbytes: int) -> float:
+        """Park a dedup patch table on ``node_id``'s SSD ("dedup-cold").
+
+        Returns the charged SSD write cost.  The caller keeps the table
+        object itself (it is the sandbox's ``dedup_table``); the store
+        only accounts for the bytes and remembers where they are.
+        """
+        if sandbox_id in self._tables:
+            raise RuntimeError(f"sandbox {sandbox_id} table already demoted")
+        self.ssd[node_id].charge(nbytes)
+        self._tables[sandbox_id] = (node_id, nbytes)
+        self.demotions += 1
+        return self.config.ssd_write_ms(nbytes)
+
+    def table_location(self, sandbox_id: int) -> tuple[int, int] | None:
+        """(node_id, nbytes) of a parked table, or None if not parked."""
+        return self._tables.get(sandbox_id)
+
+    def promote_table(self, sandbox_id: int) -> float:
+        """Read a parked table back for a restore; returns the SSD read
+        cost and releases the SSD account."""
+        try:
+            node_id, nbytes = self._tables.pop(sandbox_id)
+        except KeyError:
+            raise RuntimeError(f"sandbox {sandbox_id} table not demoted") from None
+        self.ssd[node_id].release(nbytes)
+        self.promotions += 1
+        return self.config.ssd_read_ms(nbytes)
+
+    def release_table(self, sandbox_id: int) -> None:
+        """Drop a parked table without reading it (purge of a cold sandbox)."""
+        location = self._tables.pop(sandbox_id, None)
+        if location is not None:
+            node_id, nbytes = location
+            self.ssd[node_id].release(nbytes)
+
+    # ----------------------------------------------------- observability
+
+    def tier_used_bytes(self) -> dict[StorageTier, int]:
+        """Current occupancy of the non-DRAM tiers (full-scale bytes)."""
+        return {
+            StorageTier.REMOTE_DRAM: self.remote_dram.used_bytes,
+            StorageTier.LOCAL_SSD: sum(a.used_bytes for a in self.ssd.values()),
+        }

@@ -54,6 +54,32 @@ class TestMemoryAccounting:
         assert checkpoint.page_bytes(0) == checkpoint.image.page_bytes(0)
 
 
+class TestCowValidation:
+    @pytest.mark.parametrize("fraction", [-0.01, 1.01, 10.0])
+    def test_out_of_range_fraction_rejected(self, checkpoint, fraction):
+        with pytest.raises(ValueError, match="cow_overhead_fraction"):
+            BaseCheckpoint(
+                function="LinAlg",
+                node_id=0,
+                image=checkpoint.image,
+                owner_sandbox_id=1,
+                full_size_bytes=1000,
+                cow_overhead_fraction=fraction,
+            )
+
+    @pytest.mark.parametrize("fraction", [0.0, 0.10, 1.0])
+    def test_boundary_fractions_accepted(self, checkpoint, fraction):
+        created = BaseCheckpoint(
+            function="LinAlg",
+            node_id=0,
+            image=checkpoint.image,
+            owner_sandbox_id=1,
+            full_size_bytes=1000,
+            cow_overhead_fraction=fraction,
+        )
+        assert created.memory_bytes() == int(1000 * fraction)
+
+
 class TestCheckpointStore:
     def test_add_get(self, checkpoint):
         store = CheckpointStore()
@@ -99,3 +125,33 @@ class TestCheckpointStore:
         store = CheckpointStore()
         store.add(checkpoint)
         assert list(store) == [checkpoint]
+
+    def test_for_function_after_remove(self, checkpoint, linalg_profile):
+        store = CheckpointStore()
+        store.add(checkpoint)
+        sibling = BaseCheckpoint(
+            function="LinAlg",
+            node_id=0,
+            image=linalg_profile.synthesize(6, content_scale=TEST_SCALE),
+            owner_sandbox_id=12,
+            full_size_bytes=100,
+        )
+        store.add(sibling)
+        store.remove(checkpoint.checkpoint_id)
+        assert store.for_function("LinAlg") == [sibling]
+        store.remove(sibling.checkpoint_id)
+        assert store.for_function("LinAlg") == []
+
+    def test_for_function_does_not_scan(self, checkpoint):
+        """Tripwire: ``for_function`` must read the per-function index,
+        never scan the whole cluster directory."""
+
+        class ScanTrap(dict):
+            def values(self):
+                raise AssertionError("for_function scanned the full directory")
+
+        store = CheckpointStore()
+        store.add(checkpoint)
+        store._by_id = ScanTrap(store._by_id)
+        assert store.for_function("LinAlg") == [checkpoint]
+        assert store.for_function("missing") == []

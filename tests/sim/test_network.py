@@ -18,6 +18,18 @@ class TestConfig:
         with pytest.raises(ValueError):
             RdmaConfig(bandwidth_gbps=-1)
 
+    def test_rejects_non_positive_local_copy(self):
+        # A negative local-copy cost silently produced negative restore
+        # latencies before the check covered it.
+        with pytest.raises(ValueError):
+            RdmaConfig(local_copy_us_per_kb=-0.05)
+        with pytest.raises(ValueError):
+            RdmaConfig(local_copy_us_per_kb=0)
+
+    def test_negative_local_copy_never_yields_negative_latency(self):
+        fabric = RdmaFabric()
+        assert fabric.read_ms(4096, local=True) > 0.0
+
 
 class TestSingleRead:
     def test_remote_read_latency_floor(self):
@@ -87,3 +99,17 @@ class TestBatchRead:
     def test_negative_counts_rejected(self):
         with pytest.raises(ValueError):
             RdmaFabric().batch_read_ms({1: (-1, 0)}, local_peer=0)
+
+
+class TestRequirePeer:
+    def test_available_peer_passes(self):
+        RdmaFabric().require_peer(1)
+
+    def test_failed_peer_raises_and_counts(self):
+        from repro.sim.network import PeerUnavailable
+
+        fabric = RdmaFabric()
+        fabric.fail_peer(1)
+        with pytest.raises(PeerUnavailable):
+            fabric.require_peer(1)
+        assert fabric.stats.failed_reads == 1

@@ -1,0 +1,48 @@
+"""Tests for the recorded-working-set restore prefetcher."""
+
+from __future__ import annotations
+
+from repro.storage.prefetch import WorkingSetRecorder
+
+
+class TestKeying:
+    def test_key_sorts_checkpoint_ids(self):
+        assert WorkingSetRecorder.key_for("f", [3, 1, 2]) == ("f", (1, 2, 3))
+        assert WorkingSetRecorder.key_for("f", {2, 1, 3}) == ("f", (1, 2, 3))
+
+    def test_distinct_functions_distinct_keys(self):
+        assert WorkingSetRecorder.key_for("f", [1]) != WorkingSetRecorder.key_for(
+            "g", [1]
+        )
+
+
+class TestRecording:
+    def test_lookup_before_record_misses(self):
+        recorder = WorkingSetRecorder()
+        assert recorder.lookup(("f", (1,))) is None
+
+    def test_record_then_lookup(self):
+        recorder = WorkingSetRecorder()
+        key = WorkingSetRecorder.key_for("f", [1])
+        pages = frozenset({(1, 0), (1, 4)})
+        recorder.record(key, pages)
+        assert recorder.lookup(key) == pages
+        assert recorder.recordings == 1
+        assert len(recorder) == 1
+
+    def test_first_recording_wins(self):
+        recorder = WorkingSetRecorder()
+        key = WorkingSetRecorder.key_for("f", [1])
+        first = frozenset({(1, 0)})
+        recorder.record(key, first)
+        recorder.record(key, frozenset({(1, 9)}))
+        assert recorder.lookup(key) == first
+        assert recorder.recordings == 1
+
+    def test_prefetch_stats_accumulate(self):
+        recorder = WorkingSetRecorder()
+        recorder.note_prefetch(10, 2)
+        recorder.note_prefetch(5, 0)
+        assert recorder.prefetched_restores == 2
+        assert recorder.hit_pages == 15
+        assert recorder.miss_pages == 2
