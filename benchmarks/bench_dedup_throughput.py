@@ -32,6 +32,7 @@ import json
 import math
 import pathlib
 import platform
+import statistics
 import time
 
 from benchmarks.conftest import write_result
@@ -112,17 +113,24 @@ def run_config(
 
     total_batch = total_ref = 0.0
     pages = 0
+    batch_samples: list[float] = []  # pages/s, one per (op, rep) run
+    ref_samples: list[float] = []
     for k in range(ops):
         best_batch = best_ref = math.inf
         outcome = None
         for _ in range(reps):
             s_batch, s_ref = make_sandbox(300 + k), make_sandbox(300 + k)
+            op_pages = s_batch.image.num_pages
             t0 = time.perf_counter()
             outcome = agent_batch.dedup(s_batch)
-            best_batch = min(best_batch, time.perf_counter() - t0)
+            dt = time.perf_counter() - t0
+            best_batch = min(best_batch, dt)
+            batch_samples.append(op_pages / dt)
             t0 = time.perf_counter()
             agent_ref.dedup_reference(s_ref)
-            best_ref = min(best_ref, time.perf_counter() - t0)
+            dt = time.perf_counter() - t0
+            best_ref = min(best_ref, dt)
+            ref_samples.append(op_pages / dt)
         pages += len(outcome.table.entries)
         total_batch += best_batch
         total_ref += best_ref
@@ -133,8 +141,18 @@ def run_config(
         "pages": pages,
         "batch_pages_per_s": round(pages / total_batch, 1),
         "reference_pages_per_s": round(pages / total_ref, 1),
+        # Per-run dispersion (all reps, not just the minima), so
+        # bench-to-bench noise is visible next to the headline numbers.
+        "batch_pages_per_s_median": round(statistics.median(batch_samples), 1),
+        "batch_pages_per_s_stdev": round(_stdev(batch_samples), 1),
+        "reference_pages_per_s_median": round(statistics.median(ref_samples), 1),
+        "reference_pages_per_s_stdev": round(_stdev(ref_samples), 1),
         "speedup": round(total_ref / total_batch, 3),
     }
+
+
+def _stdev(samples: list[float]) -> float:
+    return statistics.stdev(samples) if len(samples) > 1 else 0.0
 
 
 def _geomean(values: list[float]) -> float:
@@ -150,16 +168,15 @@ def run_matrix(
 ) -> dict:
     suite = FunctionBenchSuite.default()
     scale = 1.0 / scale_denom
-    results = []
-    for level in levels:
-        for name in profiles:
-            for aslr in (False, True):
-                results.append(
-                    run_config(
-                        suite, name, aslr=aslr, level=level,
-                        scale=scale, ops=ops, reps=reps,
-                    )
-                )
+    results = [
+        run_config(
+            suite, name, aslr=aslr, level=level,
+            scale=scale, ops=ops, reps=reps,
+        )
+        for level in levels
+        for name in profiles
+        for aslr in (False, True)
+    ]
     by_level = {
         level: _geomean([r["speedup"] for r in results if r["level"] == level])
         for level in levels

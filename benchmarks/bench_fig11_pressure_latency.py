@@ -20,15 +20,15 @@ def fig11(pressure_sweep):
     rows = []
     for label in result.pool_labels[1:]:
         comparison = result.comparisons[label]
-        for name in comparison.names:
-            rows.append(
-                (
-                    label,
-                    name,
-                    f"{comparison.metrics(name).e2e_percentile(99.9):.0f}",
-                    f"{comparison.metrics(name).e2e_percentile(99):.0f}",
-                )
+        rows.extend(
+            (
+                label,
+                name,
+                f"{comparison.metrics(name).e2e_percentile(99.9):.0f}",
+                f"{comparison.metrics(name).e2e_percentile(99):.0f}",
             )
+            for name in comparison.names
+        )
     text = render_table(
         ["pool", "platform", "99.9p e2e (ms)", "99p e2e (ms)"],
         rows,

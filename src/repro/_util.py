@@ -52,6 +52,30 @@ def hash_bytes(data: bytes, bits: int = 64) -> int:
     return full & ((1 << bits) - 1)
 
 
+def hash_bytes_many(chunks: Iterable[bytes], bits: int = 64) -> np.ndarray:
+    """Batched :func:`hash_bytes`: one truncated SHA-1 digest per chunk.
+
+    Returns a uint64 array whose elements equal
+    ``[hash_bytes(c, bits) for c in chunks]`` for any ``bits <= 64``:
+    truncating the little-endian 160-bit digest integer to ``bits`` bits
+    only ever consumes the first 8 digest bytes, so each digest is read
+    as a single ``<u8`` word and masked vectorised.  Hot-path helper for
+    the fingerprint scan, which hashes every sampled chunk of an image
+    in one call instead of a Python-level loop of big-int conversions.
+    ``bits > 64`` does not fit the array dtype; callers needing the full
+    digest width fall back to :func:`hash_bytes`.
+    """
+    if not 1 <= bits <= 64:
+        raise ValueError(f"bits must be in [1, 64], got {bits}")
+    sha1 = hashlib.sha1
+    words = np.frombuffer(
+        b"".join(sha1(chunk).digest()[:8] for chunk in chunks), dtype="<u8"
+    )
+    if bits == 64:
+        return words.copy()
+    return words & np.uint64((1 << bits) - 1)
+
+
 _K = TypeVar("_K", bound=Hashable)
 _V = TypeVar("_V")
 

@@ -107,9 +107,10 @@ class Fig7Result:
             ),
         ]
         functions = comp.trace.functions()
-        cold_rows = []
-        for name, by_fn in comp.cold_start_table():
-            cold_rows.append([name] + [by_fn[fn] for fn in functions])
+        cold_rows = [
+            [name] + [by_fn[fn] for fn in functions]
+            for name, by_fn in comp.cold_start_table()
+        ]
         out.append(
             tables.render_table(
                 ["platform"] + list(functions),
@@ -117,9 +118,10 @@ class Fig7Result:
                 title="Fig 7b (top): cold starts per function",
             )
         )
-        tail_rows = []
-        for name, by_fn in comp.tail_latency_table():
-            tail_rows.append([name] + [f"{by_fn[fn]:.0f}" for fn in functions])
+        tail_rows = [
+            [name] + [f"{by_fn[fn]:.0f}" for fn in functions]
+            for name, by_fn in comp.tail_latency_table()
+        ]
         out.append(
             tables.render_table(
                 ["platform"] + list(functions),
@@ -224,9 +226,10 @@ class Fig9Result:
             )
         ]
         functions = self.comparison.trace.functions()
-        cold_rows = []
-        for name, by_fn in self.comparison.cold_start_table():
-            cold_rows.append([name] + [by_fn[fn] for fn in functions])
+        cold_rows = [
+            [name] + [by_fn[fn] for fn in functions]
+            for name, by_fn in self.comparison.cold_start_table()
+        ]
         out.append(
             tables.render_table(
                 ["platform"] + list(functions),
@@ -284,10 +287,9 @@ class PressureResult:
         rows = []
         for label in self.pool_labels:
             comp = self.comparisons[label]
-            row = [label]
-            for name in comp.names:
-                row.append(f"{comp.metrics(name).cold_starts()}")
-            rows.append(row)
+            rows.append(
+                [label] + [f"{comp.metrics(name).cold_starts()}" for name in comp.names]
+            )
         names = self.comparisons[self.pool_labels[0]].names
         out.append(
             tables.render_table(
@@ -445,9 +447,10 @@ class SweepResult:
     """Per-setting auxiliary metric (e.g. mean savings fraction)."""
 
     def render(self) -> str:
-        rows = []
-        for label, count in self.cold_starts.items():
-            rows.append([label, count, self.extras.get(label, "")])
+        rows = [
+            [label, count, self.extras.get(label, "")]
+            for label, count in self.cold_starts.items()
+        ]
         return tables.render_table(
             [self.parameter, "cold starts", "notes"], rows, title=self.title
         )
@@ -528,17 +531,16 @@ class Fig16Result:
     savings_mb: dict[str, float]
 
     def render(self) -> str:
-        rows = []
-        for label in self.cold_starts:
-            rows.append(
-                [
-                    label,
-                    self.cold_starts[label],
-                    f"{self.restore_ms[label]:.0f}",
-                    f"{self.savings_mb[label]:.1f}",
-                    f"p99={percentile(self.slowdowns[label], 99):.2f}",
-                ]
-            )
+        rows = [
+            [
+                label,
+                self.cold_starts[label],
+                f"{self.restore_ms[label]:.0f}",
+                f"{self.savings_mb[label]:.1f}",
+                f"p99={percentile(self.slowdowns[label], 99):.2f}",
+            ]
+            for label in self.cold_starts
+        ]
         return tables.render_table(
             ["cardinality", "cold starts", "mean restore ms", "mean saved MB/sandbox", "slowdown"],
             rows,

@@ -30,8 +30,10 @@ def render_table(
         lines.append(title)
     lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
     lines.append("  ".join("-" * w for w in widths))
-    for row in materialized:
-        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    lines.extend(
+        "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        for row in materialized
+    )
     return "\n".join(lines)
 
 

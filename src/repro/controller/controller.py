@@ -386,6 +386,8 @@ class ClusterController:
                 prefetch_hit_pages=timings.prefetch_hit_pages,
                 prefetch_miss_pages=timings.prefetch_miss_pages,
                 promote_ms=promote_ms,
+                overlap_workers=timings.overlap.workers if timings.overlap else 0,
+                overlap_batches=timings.overlap.batches if timings.overlap else 0,
             )
         )
         if sandbox.function in self.stats:

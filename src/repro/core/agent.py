@@ -33,13 +33,15 @@ operations run on scaled images (see the cost model's docstring).
 from __future__ import annotations
 
 import enum
+import math
 from collections import Counter, defaultdict
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro._util import LruCache
-from repro.core.costs import CostModel
+from repro.core.costs import CostModel, StageOverlap, pipelined_ms
 from repro.core.registry import FingerprintRegistry, PageRef
 from repro.memory.fingerprint import (
     FingerprintConfig,
@@ -62,6 +64,10 @@ from repro.sim.network import RdmaFabric
 from repro.storage.prefetch import WorkingSetRecorder
 from repro.storage.store import TieredCheckpointStore
 from repro.storage.tiers import StorageTier
+
+if TYPE_CHECKING:
+    from repro.parallel.config import ParallelConfig
+    from repro.parallel.plane import DataPlane
 
 #: Full-scale metadata bytes per page entry of a dedup table (base page
 #: address + patch descriptor), part of the dedup footprint.
@@ -176,23 +182,42 @@ class DedupPageTable:
 
 @dataclass(frozen=True)
 class DedupTimings:
-    """Phase durations of one dedup op (full-scale ms)."""
+    """Phase durations of one dedup op (full-scale ms).
+
+    With stage-overlap accounting (``overlap`` set — the parallel data
+    plane's timing model, DESIGN.md §10), the post-checkpoint stages are
+    software-pipelined over the op's batches: fingerprinting and patch
+    compute divide across the workers, the registry round-trips and the
+    fabric reads of base pages do not, and the total charges the
+    pipeline's critical path instead of the stage sum.  The checkpoint
+    (runtime freeze + dump) stays a serial prologue — it cannot overlap
+    work on pages that do not exist yet.
+    """
 
     checkpoint_ms: float
     fingerprint_ms: float
     lookup_ms: float
     base_read_ms: float
     patch_ms: float
+    overlap: StageOverlap | None = None
 
     @property
     def total_ms(self) -> float:
-        return (
-            self.checkpoint_ms
-            + self.fingerprint_ms
-            + self.lookup_ms
-            + self.base_read_ms
-            + self.patch_ms
+        if self.overlap is None:
+            return (
+                self.checkpoint_ms
+                + self.fingerprint_ms
+                + self.lookup_ms
+                + self.base_read_ms
+                + self.patch_ms
+            )
+        stages = (
+            self.fingerprint_ms / self.overlap.workers,
+            self.lookup_ms,
+            self.base_read_ms,
+            self.patch_ms / self.overlap.workers,
         )
+        return self.checkpoint_ms + pipelined_ms(stages, self.overlap.batches)
 
 
 @dataclass(frozen=True)
@@ -223,13 +248,27 @@ class RestoreTimings:
     """Serial read of pages the recorded working set lacked."""
     prefetch_hit_pages: int = 0
     prefetch_miss_pages: int = 0
+    overlap: StageOverlap | None = None
+    """Stage-overlap accounting (parallel data plane): patch apply
+    divides across workers and pipelines against the base reads."""
 
     @property
     def total_ms(self) -> float:
+        compute_ms = self.compute_ms
+        if self.overlap is not None:
+            compute_ms /= self.overlap.workers
         if self.prefetched:
-            fetch = max(self.base_read_ms, self.compute_ms) + self.miss_read_ms
+            # Recorded-working-set restores already overlap the one
+            # batched prefetch with compute; overlap only divides the
+            # compute side further.
+            fetch = max(self.base_read_ms, compute_ms) + self.miss_read_ms
+        elif self.overlap is not None:
+            fetch = (
+                pipelined_ms((self.base_read_ms, compute_ms), self.overlap.batches)
+                + self.miss_read_ms
+            )
         else:
-            fetch = self.base_read_ms + self.compute_ms
+            fetch = self.base_read_ms + compute_ms
         return fetch + self.restore_ms
 
 
@@ -258,6 +297,8 @@ class DedupAgent:
         anchor_index_cache_pages: int = ANCHOR_INDEX_CACHE_PAGES,
         tiering: bool = False,
         recorder: WorkingSetRecorder | None = None,
+        parallel: "ParallelConfig | None" = None,
+        overlap_costs: "ParallelConfig | None" = None,
     ):
         if not 0 < content_scale <= 1:
             raise ValueError("content_scale must be in (0, 1]")
@@ -276,6 +317,14 @@ class DedupAgent:
         self.fingerprint_config = fingerprint_config or FingerprintConfig()
         self.patch_level = patch_level
         self.unique_threshold = unique_threshold
+        self.parallel = parallel
+        """Run the data plane on the parallel engine (None = serial)."""
+        self.overlap_costs = overlap_costs
+        """Charge dedup/restore timings with stage-overlap accounting
+        for this parallel shape (None = serial stage sums).  Independent
+        of ``parallel``: the simulator models the overlap without
+        needing real worker processes."""
+        self._plane: "DataPlane | None" = None
         self.dedup_ops = 0
         self.restore_ops = 0
         # Decoded base pages keyed by (checkpoint_id, page_index).
@@ -290,6 +339,20 @@ class DedupAgent:
         self.anchor_index_cache: LruCache[tuple[int, int], AnchorIndex] = LruCache(
             anchor_index_cache_pages
         )
+
+    def _data_plane(self) -> "DataPlane":
+        if self._plane is None:
+            from repro.parallel.plane import DataPlane
+
+            assert self.parallel is not None
+            self._plane = DataPlane(self, self.parallel)
+        return self._plane
+
+    def close(self) -> None:
+        """Release the parallel data plane's arena (idempotent)."""
+        if self._plane is not None:
+            self._plane.close()
+            self._plane = None
 
     # ---------------------------------------------------------------- dedup
 
@@ -322,6 +385,8 @@ class DedupAgent:
         image = sandbox.image
         if image is None:
             raise RuntimeError(f"sandbox {sandbox.sandbox_id} has no image to dedup")
+        if self.parallel is not None:
+            return self._data_plane().dedup(sandbox)
 
         page_size = image.page_size
         data = image.data
@@ -378,8 +443,10 @@ class DedupAgent:
         for checkpoint_id, group in by_checkpoint.items():
             checkpoint = self.store.get(checkpoint_id)
             checkpoint_functions[checkpoint_id] = checkpoint.function
-            for index, ref in group:
-                base_pages[index] = self._base_page_bytes(checkpoint, ref.page_index)
+            base_pages.update(
+                (index, self._base_page_bytes(checkpoint, ref.page_index))
+                for index, ref in group
+            )
 
         # Patch every chosen page in one batched pass: the aligned diff
         # runs as a single 2-D numpy operation over the whole batch, and
@@ -550,17 +617,32 @@ class DedupAgent:
             peer: (int(count * scale_up), int(count * scale_up) * image.page_size)
             for peer, count in reads_by_peer.items()
         }
+        overlap = self._stage_overlap(full_pages)
+        if overlap is None:
+            lookup_ms = self.costs.lookup_ms(full_pages)
+        else:
+            # Batched registry front end: one RPC per batch, table work
+            # per page (Section 4.3's batched registry traffic).
+            lookup_ms = self.costs.lookup_batched_ms(full_pages, overlap.batches)
         timings = DedupTimings(
             checkpoint_ms=self.costs.checkpoint_ms(full_pages),
             fingerprint_ms=self.costs.fingerprint_ms(full_pages),
-            lookup_ms=self.costs.lookup_ms(full_pages),
+            lookup_ms=lookup_ms,
             base_read_ms=self.fabric.batch_read_ms(read_plan, local_peer=self.node_id),
             patch_ms=self.costs.patch_compute_ms(
                 max(1, round(patched_pages * scale_up))
             ),
+            overlap=overlap,
         )
         self.dedup_ops += 1
         return DedupOutcome(table=table, timings=timings)
+
+    def _stage_overlap(self, full_pages: int) -> StageOverlap | None:
+        """The op's stage-overlap shape under ``overlap_costs`` (or None)."""
+        if self.overlap_costs is None:
+            return None
+        batches = max(1, math.ceil(full_pages / self.overlap_costs.batch_pages))
+        return StageOverlap(workers=self.overlap_costs.workers, batches=batches)
 
     # -------------------------------------------------------------- restore
 
@@ -609,26 +691,10 @@ class DedupAgent:
             miss_read_ms = 0.0
             hit_pages = miss_pages = 0
 
-        # Zero-initialized buffer: zero pages are already materialized.
-        data = np.zeros(len(table.entries) * page_size, dtype=np.uint8)
-        for index, entry in enumerate(table.entries):
-            if entry.kind is PageKind.UNIQUE:
-                assert entry.raw is not None
-                start = index * page_size
-                data[start : start + len(entry.raw)] = np.frombuffer(
-                    entry.raw, dtype=np.uint8
-                )
-        for checkpoint_id, indices in by_checkpoint.items():
-            checkpoint = self.store.get(checkpoint_id)
-            for index in indices:
-                entry = table.entries[index]
-                assert entry.base is not None and entry.patch is not None
-                base_page = self._base_page_bytes(checkpoint, entry.base.page_index)
-                original = apply_patch(entry.patch, base_page)
-                start = index * page_size
-                data[start : start + len(original)] = np.frombuffer(
-                    original, dtype=np.uint8
-                )
+        if self.parallel is not None:
+            data = self._data_plane().reconstruct(table, by_checkpoint)
+        else:
+            data = self._reconstruct(table, by_checkpoint)
 
         image = MemoryImage(
             function=table.function,
@@ -652,9 +718,37 @@ class DedupAgent:
             miss_read_ms=miss_read_ms,
             prefetch_hit_pages=hit_pages,
             prefetch_miss_pages=miss_pages,
+            overlap=self._stage_overlap(max(1, round(patched * scale_up))),
         )
         self.restore_ops += 1
         return RestoreOutcome(image=image, timings=timings)
+
+    def _reconstruct(
+        self, table: DedupPageTable, by_checkpoint: dict[int, list[int]]
+    ) -> np.ndarray:
+        """Serial content reconstruction of ``table`` (restore op body)."""
+        page_size = table.page_size
+        # Zero-initialized buffer: zero pages are already materialized.
+        data = np.zeros(len(table.entries) * page_size, dtype=np.uint8)
+        for index, entry in enumerate(table.entries):
+            if entry.kind is PageKind.UNIQUE:
+                assert entry.raw is not None
+                start = index * page_size
+                data[start : start + len(entry.raw)] = np.frombuffer(
+                    entry.raw, dtype=np.uint8
+                )
+        for checkpoint_id, indices in by_checkpoint.items():
+            checkpoint = self.store.get(checkpoint_id)
+            for index in indices:
+                entry = table.entries[index]
+                assert entry.base is not None and entry.patch is not None
+                base_page = self._base_page_bytes(checkpoint, entry.base.page_index)
+                original = apply_patch(entry.patch, base_page)
+                start = index * page_size
+                data[start : start + len(original)] = np.frombuffer(
+                    original, dtype=np.uint8
+                )
+        return data
 
     # ------------------------------------------------------ tiered reads
 

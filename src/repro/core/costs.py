@@ -18,6 +18,46 @@ are calibrated against the paper's measured anchors:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
+
+
+def pipelined_ms(stages: Sequence[float], batches: int) -> float:
+    """Critical path of ``stages`` software-pipelined over ``batches``.
+
+    With the op's pages split into ``batches`` equal batches and every
+    stage free to work on a different batch concurrently (the parallel
+    data plane's structure), the makespan is one batch through every
+    stage (the ramp, ``sum/batches``) plus the bottleneck stage's
+    remaining batches (``max * (batches-1)/batches``).  ``batches=1``
+    degenerates to the serial sum.
+    """
+    if batches < 1:
+        raise ValueError("batches must be positive")
+    total = sum(stages)
+    if batches == 1 or not stages:
+        return total
+    return total / batches + max(stages) * (batches - 1) / batches
+
+
+@dataclass(frozen=True)
+class StageOverlap:
+    """How a dedup/restore op's stages overlap (parallel data plane).
+
+    ``workers`` divides the compute-bound stages (fingerprint, patch
+    compute/apply); the registry round-trip and the base-page fabric
+    reads are I/O against shared services and do not scale with local
+    workers.  ``batches`` is how many page batches the op was split
+    into — the software-pipelining depth of the timing model.
+    """
+
+    workers: int
+    batches: int
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be positive")
+        if self.batches < 1:
+            raise ValueError("batches must be positive")
 
 
 @dataclass(frozen=True)
@@ -40,6 +80,13 @@ class CostModel:
 
     lookup_us_per_page: float = 70.0
     """Controller fingerprint-registry lookup, per page (Section 7.7)."""
+
+    lookup_rpc_us: float = 50.0
+    """Round-trip/marshalling share of ``lookup_us_per_page``: the part
+    a batched registry front end pays once per *batch* instead of once
+    per page (Section 4.3 batches registry traffic for exactly this
+    reason).  The remainder (``lookup_us_per_page - lookup_rpc_us``) is
+    per-page table work, paid either way."""
 
     patch_compute_us_per_page: float = 40.0
     """Xdelta-style patch computation per deduplicated page."""
@@ -66,6 +113,21 @@ class CostModel:
 
     def lookup_ms(self, full_pages: int) -> float:
         return full_pages * self.lookup_us_per_page / 1e3
+
+    def lookup_batched_ms(self, full_pages: int, batches: int) -> float:
+        """Registry lookup with per-batch (not per-page) round-trips.
+
+        Charges the RPC/marshalling share once per batch and the table
+        work per page.  ``batches >= full_pages`` degenerates to
+        :meth:`lookup_ms` (one round-trip per page); ``batches`` is
+        clamped so a sparse op is never charged more than the serial
+        model.
+        """
+        if batches < 1:
+            raise ValueError("batches must be positive")
+        batches = min(batches, full_pages) or 1
+        table_us = self.lookup_us_per_page - self.lookup_rpc_us
+        return (batches * self.lookup_rpc_us + full_pages * table_us) / 1e3
 
     def patch_compute_ms(self, full_pages: int) -> float:
         return full_pages * self.patch_compute_us_per_page / 1e3

@@ -201,10 +201,33 @@ class FingerprintRegistry:
     ) -> list[Counter[PageRef]]:
         """Candidates for a whole image's pages in one round-trip.
 
-        Page- and digest-level stats advance exactly as the equivalent
-        sequence of per-page :meth:`lookup` calls would.
+        The batch front end resolves each distinct digest against the
+        table once — pages of one image share digests heavily (that is
+        what makes them dedupable), so the memo touches the bucket map
+        far fewer times than page-at-a-time lookups would.  Results and
+        page-/digest-level stats advance exactly as the equivalent
+        sequence of per-page :meth:`lookup` calls.
         """
-        return [self.lookup(fingerprint) for fingerprint in fingerprints]
+        stats = self.stats
+        buckets_get = self._buckets.get
+        resolved: dict[int, list[PageRef] | None] = {}
+        results: list[Counter[PageRef]] = []
+        for fingerprint in fingerprints:
+            stats.page_lookups += 1
+            digest_set = fingerprint.digest_set
+            stats.digest_lookups += len(digest_set)
+            counts: Counter[PageRef] = Counter()
+            for digest in digest_set:
+                try:
+                    bucket = resolved[digest]
+                except KeyError:
+                    bucket = resolved[digest] = buckets_get(digest)
+                if bucket:
+                    counts.update(bucket)
+            if counts:
+                stats.hits += 1
+            results.append(counts)
+        return results
 
     def choose_base_page(
         self,

@@ -40,10 +40,10 @@ def fixed_offset_digests(
     if chunk_size <= 0 or stride <= 0:
         raise ValueError("chunk_size and stride must be positive")
     raw = data.tobytes()
-    out: list[tuple[int, int]] = []
-    for offset in range(0, len(raw) - chunk_size + 1, stride):
-        out.append((offset, hash_bytes(raw[offset : offset + chunk_size], bits)))
-    return out
+    return [
+        (offset, hash_bytes(raw[offset : offset + chunk_size], bits))
+        for offset in range(0, len(raw) - chunk_size + 1, stride)
+    ]
 
 
 def rolling_last2(data: np.ndarray) -> np.ndarray:

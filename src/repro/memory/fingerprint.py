@@ -18,7 +18,7 @@ from functools import cached_property
 
 import numpy as np
 
-from repro._util import hash_bytes, rng_for
+from repro._util import hash_bytes, hash_bytes_many, rng_for
 from repro.memory.chunks import (
     DEFAULT_CHUNK_SIZE,
     DEFAULT_DIGEST_BITS,
@@ -239,13 +239,34 @@ def batch_page_fingerprints(
         indices = [int(i) for i in pages]
     chunk_size = cfg.chunk_size
     digest_bits = cfg.digest_bits
-    result: list[PageFingerprint] = []
+    if digest_bits > 64:
+        # Wide digests exceed hash_bytes_many's uint64 output; keep the
+        # scalar big-int path for this (experiment-only) configuration.
+        result: list[PageFingerprint] = []
+        for index in indices:
+            base = index * page_size
+            starts = offsets_per_page[index]
+            digests = tuple(
+                hash_bytes(raw[base + s : base + s + chunk_size], digest_bits)
+                for s in starts
+            )
+            result.append(PageFingerprint(digests=digests, offsets=tuple(starts)))
+        return result
+    chunks = [
+        raw[index * page_size + s : index * page_size + s + chunk_size]
+        for index in indices
+        for s in offsets_per_page[index]
+    ]
+    flat = hash_bytes_many(chunks, digest_bits).tolist()
+    result = []
+    cursor = 0
     for index in indices:
-        base = index * page_size
         starts = offsets_per_page[index]
-        digests = tuple(
-            hash_bytes(raw[base + s : base + s + chunk_size], digest_bits)
-            for s in starts
+        count = len(starts)
+        result.append(
+            PageFingerprint(
+                digests=tuple(flat[cursor : cursor + count]), offsets=tuple(starts)
+            )
         )
-        result.append(PageFingerprint(digests=digests, offsets=tuple(starts)))
+        cursor += count
     return result

@@ -313,19 +313,19 @@ def standard_layout(
             aslr=AslrBehavior.FINE,
         ),
     ]
-    for lib, size in lib_sizes.items():
-        regions.append(
-            RegionSpec(
-                name=f"lib-{lib}",
-                scope=SharingScope.LIBRARY,
-                content_key=f"lib:{lib}",
-                fraction=frac(size),
-                mutation_rate=LIBRARY_MUTATION,
-                pointer_interval=LIBRARY_POINTER_INTERVAL,
-                common_fill=LIBRARY_COMMON_FILL,
-                dirty_page_rate=LIBRARY_DIRTY_RATE.get(lib, DEFAULT_LIBRARY_DIRTY_RATE),
-            )
+    regions.extend(
+        RegionSpec(
+            name=f"lib-{lib}",
+            scope=SharingScope.LIBRARY,
+            content_key=f"lib:{lib}",
+            fraction=frac(size),
+            mutation_rate=LIBRARY_MUTATION,
+            pointer_interval=LIBRARY_POINTER_INTERVAL,
+            common_fill=LIBRARY_COMMON_FILL,
+            dirty_page_rate=LIBRARY_DIRTY_RATE.get(lib, DEFAULT_LIBRARY_DIRTY_RATE),
         )
+        for lib, size in lib_sizes.items()
+    )
     regions.append(
         RegionSpec(
             name="heap",

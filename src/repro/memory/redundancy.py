@@ -144,10 +144,10 @@ def redundancy_matrix(
     Entry ``(row, col)`` is the redundancy of ``row``'s image measured
     against ``col``'s image, matching the paper's axis convention.
     """
-    result: dict[tuple[str, str], float] = {}
-    for row_name, row_image in images.items():
-        for col_name, col_image in images.items():
-            result[(row_name, col_name)] = measure_redundancy(
-                row_image, col_image, chunk_size
-            ).redundancy
-    return result
+    return {
+        (row_name, col_name): measure_redundancy(
+            row_image, col_image, chunk_size
+        ).redundancy
+        for row_name, row_image in images.items()
+        for col_name, col_image in images.items()
+    }

@@ -1,0 +1,13 @@
+"""Parallel dedup/restore data plane (DESIGN.md §10).
+
+A process-pool execution layer for the data-plane kernels: pages move
+through shared-memory arenas, workers run the vectorized fingerprint /
+patch kernels over work-stealing batches, and the registry front end
+overlaps lookup round-trips with the next batch's fingerprinting.
+``ParallelConfig(workers=1)`` is the inline engine, bit-identical to
+the serial agent paths.
+"""
+
+from repro.parallel.config import ParallelConfig
+
+__all__ = ["ParallelConfig"]

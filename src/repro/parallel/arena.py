@@ -1,0 +1,97 @@
+"""Page arenas for the parallel data plane.
+
+An arena is a flat byte buffer that one dedup/restore op stages its
+pages in: the checkpoint image, the base pages fetched from peers, and
+(for restore) the reconstructed output region.  Workers never receive
+page bytes through the task queue — a task carries only the arena's
+*token* plus offsets, and the worker maps the same memory:
+
+* :class:`ShmArena` backs the buffer with a POSIX shared-memory segment
+  (``multiprocessing.shared_memory``).  Its token is the segment name;
+  workers attach lazily and cache the mapping.  The parent owns the
+  segment lifecycle: it is unlinked either when the arena is replaced
+  by a larger one (only ever between ops, so no in-flight task can
+  reference it) or at close.
+* :class:`LocalArena` is the ``workers=1`` stand-in: a process-local
+  numpy buffer with no token, used by the inline executor so the staged
+  pipeline code is identical whether or not subprocesses exist.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import PAGE_SIZE
+
+#: Growth headroom so repeated ops with slightly different footprints
+#: don't recreate the segment every time.
+_GROWTH_FACTOR = 1.25
+
+
+def _round_capacity(nbytes: int) -> int:
+    """Round a requested size up to a page-aligned capacity with headroom."""
+    nbytes = max(nbytes, PAGE_SIZE)
+    padded = int(nbytes * _GROWTH_FACTOR)
+    return ((padded + PAGE_SIZE - 1) // PAGE_SIZE) * PAGE_SIZE
+
+
+class LocalArena:
+    """A process-local arena (no shared memory, no token)."""
+
+    def __init__(self, nbytes: int):
+        self.capacity = _round_capacity(nbytes)
+        self.token: str | None = None
+        self.view = np.zeros(self.capacity, dtype=np.uint8)
+
+    def close(self) -> None:
+        self.view = np.zeros(0, dtype=np.uint8)
+
+
+class ShmArena:
+    """An arena backed by a named shared-memory segment."""
+
+    def __init__(self, nbytes: int):
+        from multiprocessing import shared_memory
+
+        self.capacity = _round_capacity(nbytes)
+        self._shm = shared_memory.SharedMemory(create=True, size=self.capacity)
+        self.token: str | None = self._shm.name
+        self.view = np.frombuffer(self._shm.buf, dtype=np.uint8)
+
+    def close(self) -> None:
+        if self._shm is None:
+            return
+        # Drop the numpy view before closing: SharedMemory.close() fails
+        # while exported buffers are alive.
+        self.view = np.zeros(0, dtype=np.uint8)
+        self._shm.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # already unlinked (e.g. atexit race)
+            pass
+        self._shm = None
+
+
+def attach_segment(name: str, *, forked: bool):
+    """Map an existing segment by name (worker side).
+
+    Returns the ``SharedMemory`` handle; the caller keeps it alive for
+    as long as views into its buffer are in use.  CPython's resource
+    tracker registers *every* attach for cleanup (bpo-39959).  Forked
+    workers share the parent's tracker process, whose registry is a
+    set — the re-register is harmless and the parent's ``unlink``
+    performs the one cleanup.  Spawned workers get their *own* tracker,
+    which would unlink the parent's live segment when the worker exits,
+    so there the worker-side registration must be withdrawn.
+    """
+    from multiprocessing import shared_memory
+
+    shm = shared_memory.SharedMemory(name=name)
+    if not forked:
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:
+            pass
+    return shm

@@ -1,0 +1,52 @@
+"""Configuration of the parallel dedup/restore data plane.
+
+One :class:`ParallelConfig` describes both sides of the parallel data
+plane (DESIGN.md §10):
+
+* the **execution engine** — how many worker processes run the
+  content kernels (fingerprint scan + chunk digests, patch compute,
+  patch apply), how many pages each work item carries, and how many
+  batches the parent keeps in flight (the software-pipelining depth);
+* the **cost model** — the same three knobs drive the simulator's
+  stage-overlap accounting (:class:`repro.core.costs.StageOverlap`)
+  when ``ClusterConfig.parallel_data_plane`` is on, so Fig-7/8 style
+  experiments charge the pipelined critical path instead of the serial
+  stage sum.
+
+``workers=1`` (the default) is the inline engine: the same staged
+pipeline runs in-process with no shared memory and no pickling, and is
+pinned bit-identical to :meth:`DedupAgent.dedup` by the equivalence
+property test (``tests/parallel/test_parallel_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """Knobs of the parallel data plane."""
+
+    workers: int = 1
+    """Worker processes running the content kernels.  1 = inline (no
+    subprocesses); >1 forks a shared-memory worker pool."""
+
+    batch_pages: int = 512
+    """Pages per work item.  Batches are the unit of work stealing (any
+    idle worker takes the next batch off the shared queue) and of
+    registry round-trips (one grouped lookup per batch)."""
+
+    depth: int = 4
+    """Pipeline depth: fingerprint batches the parent keeps in flight
+    while it performs registry lookups and base-page fetches for
+    already-scanned batches.  Depth 1 disables the overlap (each batch
+    is fully processed before the next is scanned)."""
+
+    def __post_init__(self) -> None:
+        if self.workers <= 0:
+            raise ValueError("workers must be positive")
+        if self.batch_pages <= 0:
+            raise ValueError("batch_pages must be positive")
+        if self.depth <= 0:
+            raise ValueError("depth must be positive")

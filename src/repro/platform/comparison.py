@@ -65,24 +65,21 @@ class Comparison:
     def tail_latency_table(self, pct: float = 99.9) -> list[tuple[str, dict[str, float]]]:
         """Per-platform tail e2e latency by function (Figure 7b, bottom)."""
         functions = self.trace.functions()
-        rows = []
-        for name, report in self.reports.items():
-            rows.append(
-                (name, {fn: report.metrics.e2e_percentile(pct, fn) for fn in functions})
-            )
-        return rows
+        return [
+            (name, {fn: report.metrics.e2e_percentile(pct, fn) for fn in functions})
+            for name, report in self.reports.items()
+        ]
 
     def memory_table(self) -> list[tuple[str, float, float]]:
         """(platform, mean MB, median MB) cluster memory usage (Figure 9a)."""
-        rows = []
-        for name, report in self.reports.items():
-            rows.append(
-                (
-                    name,
-                    report.metrics.mean_memory_bytes() / MIB,
-                    report.metrics.median_memory_bytes() / MIB,
-                )
+        rows = [
+            (
+                name,
+                report.metrics.mean_memory_bytes() / MIB,
+                report.metrics.median_memory_bytes() / MIB,
             )
+            for name, report in self.reports.items()
+        ]
         return rows
 
     def extra_sandboxes_vs(self, baseline_name: str) -> float:

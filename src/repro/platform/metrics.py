@@ -111,13 +111,29 @@ class RestoreOpRecord:
     promote_ms: float = 0.0
     """Charged tier promotions (parked table read-back, checkpoint
     promotion) serialized before the restore proper."""
+    overlap_workers: int = 0
+    """Parallel-data-plane workers the compute phase divided across
+    (0 = serial accounting; mirrors ``RestoreTimings.overlap``)."""
+    overlap_batches: int = 0
+    """Page batches the op software-pipelined over (0 = serial)."""
 
     @property
     def total_ms(self) -> float:
+        compute_ms = self.compute_ms
+        if self.overlap_workers:
+            compute_ms /= self.overlap_workers
         if self.prefetched:
-            fetch = max(self.base_read_ms, self.compute_ms) + self.miss_read_ms
+            fetch = max(self.base_read_ms, compute_ms) + self.miss_read_ms
+        elif self.overlap_batches > 1:
+            ramp = (self.base_read_ms + compute_ms) / self.overlap_batches
+            steady = (
+                max(self.base_read_ms, compute_ms)
+                * (self.overlap_batches - 1)
+                / self.overlap_batches
+            )
+            fetch = ramp + steady + self.miss_read_ms
         else:
-            fetch = self.base_read_ms + self.compute_ms
+            fetch = self.base_read_ms + compute_ms
         return fetch + self.restore_ms + self.promote_ms
 
 
@@ -188,6 +204,14 @@ class RunMetrics:
     """Restores whose base reads were issued as one recorded prefetch."""
     prefetch_hit_pages: int = 0
     prefetch_miss_pages: int = 0
+    base_page_cache_hits: int = 0
+    """Decoded-base-page LRU hits summed over every agent (dedup and
+    restore ops re-read the same hot base pages constantly; this is the
+    visibility counter for how often the fetch was served locally)."""
+    base_page_cache_misses: int = 0
+    anchor_index_cache_hits: int = 0
+    """Prebuilt anchor-index LRU hits summed over every agent."""
+    anchor_index_cache_misses: int = 0
     outstanding_requests: int = 0
     """Arrived-but-not-completed requests, maintained by
     :meth:`on_arrival`/:meth:`on_completion` so the platform's drain

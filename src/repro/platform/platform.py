@@ -128,6 +128,7 @@ class Platform:
                 fingerprint_config=config.fingerprint,
                 tiering=config.checkpoint_tiering,
                 recorder=self.recorder,
+                overlap_costs=config.parallel if config.parallel_data_plane else None,
             )
             for node in self.nodes
         }
@@ -151,34 +152,33 @@ class Platform:
         Returns per-node sandbox states, checkpoint pins and memory
         usage — what an operator dashboard would poll.  Read-only.
         """
-        nodes = []
-        for node in self.nodes:
-            nodes.append(
-                {
-                    "node_id": node.node_id,
-                    "used_bytes": node.used_bytes(),
-                    "capacity_bytes": node.capacity_bytes,
-                    "sandboxes": [
-                        {
-                            "id": sandbox.sandbox_id,
-                            "function": sandbox.function,
-                            "state": sandbox.state.value,
-                            "is_base": sandbox.is_base,
-                            "memory_bytes": sandbox.memory_bytes(),
-                        }
-                        for sandbox in node.sandboxes.values()
-                    ],
-                    "checkpoints": [
-                        {
-                            "id": checkpoint.checkpoint_id,
-                            "function": checkpoint.function,
-                            "refcount": checkpoint.refcount,
-                            "memory_bytes": checkpoint.memory_bytes(),
-                        }
-                        for checkpoint in node.checkpoints.values()
-                    ],
-                }
-            )
+        nodes = [
+            {
+                "node_id": node.node_id,
+                "used_bytes": node.used_bytes(),
+                "capacity_bytes": node.capacity_bytes,
+                "sandboxes": [
+                    {
+                        "id": sandbox.sandbox_id,
+                        "function": sandbox.function,
+                        "state": sandbox.state.value,
+                        "is_base": sandbox.is_base,
+                        "memory_bytes": sandbox.memory_bytes(),
+                    }
+                    for sandbox in node.sandboxes.values()
+                ],
+                "checkpoints": [
+                    {
+                        "id": checkpoint.checkpoint_id,
+                        "function": checkpoint.function,
+                        "refcount": checkpoint.refcount,
+                        "memory_bytes": checkpoint.memory_bytes(),
+                    }
+                    for checkpoint in node.checkpoints.values()
+                ],
+            }
+            for node in self.nodes
+        ]
         return {
             "time_ms": self.sim.now,
             "platform": self.name,
@@ -241,6 +241,17 @@ class Platform:
             self.metrics.prefetched_restores = self.recorder.prefetched_restores
             self.metrics.prefetch_hit_pages = self.recorder.hit_pages
             self.metrics.prefetch_miss_pages = self.recorder.miss_pages
+        agents = self.agents.values()
+        self.metrics.base_page_cache_hits = sum(a.base_page_cache.hits for a in agents)
+        self.metrics.base_page_cache_misses = sum(
+            a.base_page_cache.misses for a in agents
+        )
+        self.metrics.anchor_index_cache_hits = sum(
+            a.anchor_index_cache.hits for a in agents
+        )
+        self.metrics.anchor_index_cache_misses = sum(
+            a.anchor_index_cache.misses for a in agents
+        )
         return RunReport(
             platform_name=self.name,
             config=self.config,

@@ -80,9 +80,7 @@ def _bursty(spec: PatternSpec, duration_ms: float, rng: np.random.Generator) -> 
     while t < duration_ms:
         size = 1 + rng.poisson(per_burst - 1)
         offsets = np.cumsum(rng.exponential(250.0, size=size))  # ~4/s inside a burst
-        for off in offsets:
-            if t + off < duration_ms:
-                times.append(t + off)
+        times.extend(t + off for off in offsets if t + off < duration_ms)
         t += rng.exponential(gap_mean_ms)
     return np.sort(np.asarray(times))
 
@@ -177,6 +175,7 @@ class AzureTraceGenerator:
         for index, function in enumerate(functions):
             spec = self.pattern_for(function, index)
             rng = rng_for("azure-arrivals", self.seed, function)
-            for t in sample_arrivals(spec, duration_ms, rng):
-                arrivals.append((float(t), function))
+            arrivals.extend(
+                (float(t), function) for t in sample_arrivals(spec, duration_ms, rng)
+            )
         return Trace.from_arrivals(arrivals)

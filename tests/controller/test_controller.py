@@ -7,6 +7,8 @@ preference, the dedup lifecycle, base management, eviction and queueing.
 
 from __future__ import annotations
 
+from collections import Counter
+
 import pytest
 
 from repro.core.policy import MedesPolicyConfig
@@ -108,12 +110,11 @@ class TestDedupLifecycle:
 
     def test_refcounts_consistent_at_end(self, pair_suite):
         platform, _ = run_medes(self._dedup_trace(), pair_suite)
-        expected: dict[int, int] = {}
+        expected: Counter[int] = Counter()
         for node in platform.nodes:
             for sandbox in node.sandboxes.values():
                 if sandbox.dedup_table is not None:
-                    for cid, count in sandbox.dedup_table.base_refs.items():
-                        expected[cid] = expected.get(cid, 0) + count
+                    expected.update(sandbox.dedup_table.base_refs)
         for checkpoint in platform.store:
             assert checkpoint.refcount == expected.get(checkpoint.checkpoint_id, 0)
 

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from collections import Counter
+
 import pytest
 
 from repro.core.policy import MedesPolicyConfig
@@ -83,12 +85,11 @@ class TestDedupAbort:
             PlatformKind.MEDES, config(), pair_suite, medes=medes()
         )
         platform.run(self._abort_trace())
-        expected: dict[int, int] = {}
+        expected: Counter[int] = Counter()
         for node in platform.nodes:
             for sandbox in node.sandboxes.values():
                 if sandbox.dedup_table is not None:
-                    for cid, count in sandbox.dedup_table.base_refs.items():
-                        expected[cid] = expected.get(cid, 0) + count
+                    expected.update(sandbox.dedup_table.base_refs)
         for checkpoint in platform.store:
             assert checkpoint.refcount == expected.get(checkpoint.checkpoint_id, 0)
 
@@ -125,12 +126,11 @@ class TestPurgeDuringDedup:
         assert platform.controller._pending_dedups == {}
         # Every refcount the aborted op acquired was rolled back: only
         # resident dedup tables may hold references now.
-        expected: dict[int, int] = {}
+        expected: Counter[int] = Counter()
         for node in platform.nodes:
             for sandbox in node.sandboxes.values():
                 if sandbox.dedup_table is not None:
-                    for cid, count in sandbox.dedup_table.base_refs.items():
-                        expected[cid] = expected.get(cid, 0) + count
+                    expected.update(sandbox.dedup_table.base_refs)
         for checkpoint in platform.store:
             assert checkpoint.refcount == expected.get(checkpoint.checkpoint_id, 0)
 

@@ -8,6 +8,8 @@ memory accounting is consistent, and restores are byte-exact.
 
 from __future__ import annotations
 
+from collections import Counter
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -66,12 +68,11 @@ class TestEndToEndInvariants:
     @given(arrival_lists)
     def test_refcounts_balance(self, arrivals):
         platform, _ = run_platform(arrivals)
-        expected: dict[int, int] = {}
+        expected: Counter[int] = Counter()
         for node in platform.nodes:
             for sandbox in node.sandboxes.values():
                 if sandbox.dedup_table is not None:
-                    for cid, count in sandbox.dedup_table.base_refs.items():
-                        expected[cid] = expected.get(cid, 0) + count
+                    expected.update(sandbox.dedup_table.base_refs)
         for checkpoint in platform.store:
             assert checkpoint.refcount == expected.get(checkpoint.checkpoint_id, 0)
             assert checkpoint.refcount >= 0

@@ -1,0 +1,71 @@
+"""Base-page LRU cache visibility: hit/miss counters and RunMetrics.
+
+The per-agent cache of decoded base pages was added in PR 1; this pins
+its observable behaviour: a dedup op populates the cache (misses), a
+warm restore of the same table is served from it (hits), and a platform
+run surfaces the totals in ``RunMetrics``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.policy import MedesPolicyConfig
+from repro.platform.config import ClusterConfig
+from repro.platform.metrics import StartType
+from repro.platform.platform import PlatformKind, build_platform
+from repro.workload.azure import AzureTraceGenerator
+from repro.workload.functionbench import FunctionBenchSuite
+from tests.conftest import TEST_SCALE
+from tests.parallel.test_parallel_equivalence import _build_agents, _make_sandbox
+
+from repro.parallel import ParallelConfig
+
+
+def test_warm_restore_hits_base_page_cache(suite):
+    agent, _ = _build_agents(suite, ParallelConfig())
+    profile = suite.get("LinAlg")
+    outcome = agent.dedup(_make_sandbox(profile, 700, False))
+    assert outcome.table.stats.patched_pages > 0
+    misses_after_dedup = agent.base_page_cache.misses
+    assert misses_after_dedup > 0, "dedup populates the cache via misses"
+    hits_after_dedup = agent.base_page_cache.hits
+
+    agent.restore(outcome.table, verify=True)
+    assert agent.base_page_cache.hits > hits_after_dedup, (
+        "a warm restore re-reads the base pages the dedup op just cached"
+    )
+    assert agent.base_page_cache.misses == misses_after_dedup
+
+
+def test_run_metrics_surface_cache_counters():
+    suite = FunctionBenchSuite.replicated(["Vanilla", "LinAlg"], 2)
+    trace = AzureTraceGenerator(seed=21).generate(8, suite.names())
+    config = ClusterConfig(
+        nodes=2,
+        node_memory_mb=256.0,
+        content_scale=TEST_SCALE,
+        seed=3,
+        verify_restores=True,
+    )
+    platform = build_platform(
+        PlatformKind.MEDES,
+        config,
+        suite,
+        medes=MedesPolicyConfig(alpha=25.0, idle_period_ms=10_000.0),
+    )
+    report = platform.run(trace)
+    metrics = report.metrics
+    if not metrics.dedup_ops:
+        pytest.skip("trace produced no dedup ops")
+    assert metrics.base_page_cache_misses > 0
+    total_agent_misses = sum(
+        a.base_page_cache.misses for a in platform.agents.values()
+    )
+    total_agent_hits = sum(a.base_page_cache.hits for a in platform.agents.values())
+    assert metrics.base_page_cache_misses == total_agent_misses
+    assert metrics.base_page_cache_hits == total_agent_hits
+    if metrics.start_counts()[StartType.DEDUP]:
+        assert metrics.base_page_cache_hits > 0, (
+            "dedup starts replay base pages the dedup op already decoded"
+        )
