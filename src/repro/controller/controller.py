@@ -28,15 +28,18 @@ preserved behind the flag and pinned to bit-identical behaviour by
 
 from __future__ import annotations
 
-from collections import deque
-from dataclasses import dataclass
+from collections import Counter, deque
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
 
-from repro._util import stable_seed
+from repro._util import hash_bytes, stable_seed
 from repro.controller.index import NodeUsageIndex, SandboxIndex
-from repro.core.agent import DedupAgent
+from repro.core.agent import DedupAgent, PageKind
 from repro.core.basemgr import BaseSandboxManager
 from repro.core.policy import ClusterView, Decision, FunctionStats, LifecyclePolicy
 from repro.core.registry import FingerprintRegistry, PageRef
+from repro.faults.health import RegistryUnavailable
+from repro.faults.retry import RetryExhausted
 from repro.memory.fingerprint import batch_page_fingerprints
 from repro.platform.config import ClusterConfig
 from repro.platform.metrics import (
@@ -59,6 +62,10 @@ from repro.storage.tiers import StorageTier
 from repro.workload.functionbench import FunctionBenchSuite
 from repro.workload.trace import Request
 from repro._util import rng_for
+
+if TYPE_CHECKING:
+    from repro.core.agent import DedupPageTable
+    from repro.faults.health import FaultRuntime
 
 
 #: A queued request older than this may evict unpinned base sandboxes.
@@ -99,6 +106,7 @@ class ClusterController:
         store: CheckpointStore,
         basemgr: BaseSandboxManager,
         stats: dict[str, FunctionStats] | None = None,
+        faults: "FaultRuntime | None" = None,
     ):
         self.sim = sim
         self.config = config
@@ -111,6 +119,14 @@ class ClusterController:
         self.store = store
         self.basemgr = basemgr
         self.stats = stats or {}
+        self._faults = faults
+        #: request_id -> (completion timer, sandbox, request, record) of
+        #: every request with a scheduled future event (startup or exec);
+        #: a node crash cancels and re-dispatches the affected entries.
+        self._inflight: dict[int, tuple[Timer, Sandbox, Request, RequestRecord]] = {}
+        #: Node mid-crash-reconciliation (suppresses demote-on-purge of
+        #: checkpoints whose device just died with the node).
+        self._crashed_node: int | None = None
         self._by_function: dict[str, dict[int, Sandbox]] = {}
         self._timers: dict[int, _SandboxTimers] = {}
         self._queue: list[tuple[Request, RequestRecord]] = []
@@ -215,6 +231,9 @@ class ClusterController:
             used_bytes=self.used_bytes(),
             capacity_bytes=self.config.cluster_capacity_bytes,
             rate_shares=shares,
+            registry_available=(
+                self._faults is None or self._faults.health.registry_available()
+            ),
         )
 
     def sandbox_census(self) -> tuple[int, int, int]:
@@ -319,12 +338,14 @@ class ClusterController:
             return True
 
         dedup_candidates.sort(key=lambda s: (s.last_used_at, s.sandbox_id), reverse=True)
+        failed_dedup = False
         for sandbox in dedup_candidates:
             if self._start_dedup(sandbox, request, record):
                 return True
-            # That candidate's base pages were unreachable (node
-            # failure) and it was purged; try the next intact dedup
-            # sandbox before falling through to the remaining options.
+            failed_dedup = True
+            # That candidate's restore failed (retry storm, partition,
+            # or unreachable bases past rehoming); try the next intact
+            # dedup sandbox before the remaining options.
 
         # A sandbox mid-dedup is cheaper to reclaim than a cold start:
         # abort the (background) dedup op and serve the request warm.
@@ -334,7 +355,11 @@ class ClusterController:
             self._start_warm(sandbox, request, record)
             return True
 
-        return self._start_cold(request, record, desperate=desperate)
+        started = self._start_cold(request, record, desperate=desperate)
+        if started and failed_dedup:
+            # The restore fallback chain bottomed out at a cold start.
+            self.metrics.restore_cold_fallbacks += 1
+        return started
 
     def _start_warm(self, sandbox: Sandbox, request: Request, record: RequestRecord) -> None:
         self._timers_for(sandbox).cancel_all()
@@ -342,16 +367,20 @@ class ClusterController:
         sandbox.transition(SandboxState.RUNNING, self.sim.now)
         record.start_type = StartType.WARM
         record.queued_ms = self.sim.now - record.arrival_ms
-        record.startup_ms = self.config.costs.warm_start_ms
+        record.startup_ms = self.config.costs.warm_start_ms + record.retry_penalty_ms
         self._run_request(sandbox, request, record)
 
     def _start_dedup(self, sandbox: Sandbox, request: Request, record: RequestRecord) -> bool:
         """Serve ``request`` by restoring a dedup sandbox.
 
-        Returns False when a base page's node is unreachable: the broken
-        dedup sandbox is purged (its state cannot be reconstructed) and
-        the caller falls back to another start path (Section 4.1.3's
-        base-unavailability concern).
+        Returns False when the restore cannot proceed, after walking the
+        fallback chain (DESIGN.md §11): transient fetch failures already
+        retried inside the agent; a dead base peer triggers one rehoming
+        attempt onto surviving replicas of the same pages
+        (``max_refs_per_digest`` gives the candidates); only then is the
+        broken dedup sandbox purged (its state cannot be reconstructed)
+        and the caller falls through to another start path (Section
+        4.1.3's base-unavailability concern).
         """
         assert sandbox.dedup_table is not None
         agent = self.agents[sandbox.node_id]
@@ -361,18 +390,40 @@ class ClusterController:
             # hot demoted checkpoints home before the restore proper.
             promote_ms += self._promote_table(sandbox)
             promote_ms += self._promote_checkpoints(sandbox.dedup_table)
-        try:
-            outcome = agent.restore(
-                sandbox.dedup_table, verify=self.config.verify_restores
-            )
-        except PeerUnavailable:
-            self._purge(sandbox, reason="base-unavailable")
-            return False
+        rehome_attempted = False
+        while True:
+            try:
+                outcome = agent.restore(
+                    sandbox.dedup_table, verify=self.config.verify_restores
+                )
+            except RetryExhausted as exc:
+                # Transient RPC storm: the attempts' time is real latency
+                # the request pays on whatever start path succeeds next.
+                # The sandbox itself is intact — keep it restorable.
+                record.retry_penalty_ms += exc.charged_ms
+                return False
+            except PeerUnavailable as exc:
+                if self._faults is not None and self._faults.health.node_up(exc.peer):
+                    # Link partition, not a dead node: the base state
+                    # still exists, so keep the sandbox for post-heal.
+                    return False
+                dead = self._unreachable_refs(sandbox.dedup_table)
+                if (
+                    not rehome_attempted
+                    and dead
+                    and self._try_rehome(sandbox, dead)
+                ):
+                    rehome_attempted = True
+                    continue
+                self._purge(sandbox, reason="base-unavailable")
+                return False
+            else:
+                break
         self._timers_for(sandbox).cancel_all()
         sandbox.busy_request_id = request.request_id
         sandbox.transition(SandboxState.RESTORING, self.sim.now)
         timings = outcome.timings
-        startup_ms = timings.total_ms + promote_ms
+        startup_ms = timings.total_ms + promote_ms + record.retry_penalty_ms
         self.metrics.restore_ops.append(
             RestoreOpRecord(
                 function=sandbox.function,
@@ -388,6 +439,8 @@ class ClusterController:
                 promote_ms=promote_ms,
                 overlap_workers=timings.overlap.workers if timings.overlap else 0,
                 overlap_batches=timings.overlap.batches if timings.overlap else 0,
+                retry_ms=timings.retry_ms,
+                retries=timings.retries,
             )
         )
         if sandbox.function in self.stats:
@@ -410,7 +463,8 @@ class ClusterController:
             self.basemgr.note_dedup(sandbox.function, -1)
             self._run_request(sandbox, request, record, already_started=True)
 
-        self.sim.after(startup_ms, finish_restore)
+        timer = self.sim.after(startup_ms, finish_restore)
+        self._inflight[request.request_id] = (timer, sandbox, request, record)
         return True
 
     def _start_cold(
@@ -424,14 +478,21 @@ class ClusterController:
         sandbox.busy_request_id = request.request_id
         record.start_type = StartType.COLD
         record.queued_ms = self.sim.now - record.arrival_ms
-        cold_ms = self.config.cold_start_ms(profile) + self.config.costs.spawn_placement_ms
+        cold_ms = (
+            self.config.cold_start_ms(profile)
+            + self.config.costs.spawn_placement_ms
+            + record.retry_penalty_ms
+        )
         record.startup_ms = cold_ms
 
         def finish_spawn() -> None:
+            if sandbox.state is not SandboxState.SPAWNING:
+                return  # crash-purged mid-spawn; the request re-dispatched
             sandbox.transition(SandboxState.RUNNING, self.sim.now)
             self._run_request(sandbox, request, record, already_started=True)
 
-        self.sim.after(cold_ms, finish_spawn)
+        timer = self.sim.after(cold_ms, finish_spawn)
+        self._inflight[request.request_id] = (timer, sandbox, request, record)
         return True
 
     def _run_request(
@@ -448,6 +509,7 @@ class ClusterController:
         delay = exec_ms if already_started else record.startup_ms + exec_ms
 
         def complete() -> None:
+            self._inflight.pop(request.request_id, None)
             self.metrics.on_completion(record, self.sim.now)
             sandbox.busy_request_id = None
             sandbox.served_requests += 1
@@ -455,7 +517,8 @@ class ClusterController:
             self._arm_idle_timers(sandbox)
             self._drain_queue()
 
-        self.sim.after(delay, complete)
+        timer = self.sim.after(delay, complete)
+        self._inflight[request.request_id] = (timer, sandbox, request, record)
 
     # ------------------------------------------------------------- spawn
 
@@ -519,10 +582,14 @@ class ClusterController:
         # Both paths fix the candidate order at entry (evictions below
         # do not re-rank it): the scan path by sorting a fresh list, the
         # indexed path by snapshotting the maintained order.
+        down = self._faults.health.down_nodes if self._faults is not None else frozenset()
         if self.indexed:
-            candidates = self._usage.snapshot()
+            candidates = self._usage.snapshot(exclude=down)
         else:
-            candidates = sorted(self.nodes, key=lambda n: (n.used_bytes(), n.node_id))
+            candidates = sorted(
+                (n for n in self.nodes if n.node_id not in down),
+                key=lambda n: (n.used_bytes(), n.node_id),
+            )
         for node in candidates:
             if node.fits(needed_bytes):
                 return node
@@ -565,6 +632,8 @@ class ClusterController:
         cold_ms = self.config.cold_start_ms(profile) + self.config.costs.spawn_placement_ms
 
         def finish_spawn() -> None:
+            if sandbox.state is not SandboxState.SPAWNING:
+                return  # crash-purged mid-spawn
             sandbox.transition(SandboxState.WARM, self.sim.now)
             self._arm_idle_timers(sandbox)
             self._drain_queue()
@@ -611,6 +680,13 @@ class ClusterController:
             return
         if sandbox.is_base:
             # Base sandboxes stay warm while they anchor dedup state.
+            timers.idle = self.sim.after(idle_period, lambda: self._on_idle_expiry(sandbox))
+            return
+        if self._faults is not None and not self._faults.health.registry_available():
+            # Degradation ladder (DESIGN.md §11): with a registry shard
+            # down no new dedup ops are admitted; stay warm and re-ask
+            # after the next idle period.
+            self.metrics.dedup_deferrals += 1
             timers.idle = self.sim.after(idle_period, lambda: self._on_idle_expiry(sandbox))
             return
         decision = self.policy.decide_idle(sandbox.function, self.build_view())
@@ -834,9 +910,12 @@ class ClusterController:
             image.data, image.page_size, agent.fingerprint_config
         )
         for index, fingerprint in enumerate(fingerprints):
-            self.registry.register_page(
-                PageRef(checkpoint.checkpoint_id, sandbox.node_id, index), fingerprint
-            )
+            ref = PageRef(checkpoint.checkpoint_id, sandbox.node_id, index)
+            self.registry.register_page(ref, fingerprint)
+            # The full-page replica index (exact content digests) backs
+            # crash rehoming: byte-identical pages on surviving bases
+            # can absorb a dead base's patch references unchanged.
+            self.registry.register_page_location(ref, hash_bytes(image.page_bytes(index)))
         sandbox.is_base = True
         sandbox.base_checkpoint_id = checkpoint.checkpoint_id
         self.metrics.bases_created += 1
@@ -893,7 +972,15 @@ class ClusterController:
         sandbox.transition(SandboxState.DEDUPING, self.sim.now)
         self._ensure_image(sandbox)
         agent = self.agents[sandbox.node_id]
-        outcome = agent.dedup(sandbox)
+        try:
+            outcome = agent.dedup(sandbox)
+        except RegistryUnavailable:
+            # Registry lookups timed out past the retry budget: defer
+            # the dedup (no refcounts were acquired) and stay warm.
+            sandbox.transition(SandboxState.WARM, self.sim.now)
+            self.metrics.dedup_deferrals += 1
+            self._arm_idle_timers(sandbox)
+            return False
         if (
             outcome.table.stats.savings_fraction < self.config.base_savings_threshold
             and self.basemgr.needs_new_base(sandbox.function)
@@ -925,6 +1012,8 @@ class ClusterController:
                     retained_full_bytes=outcome.table.retained_full_bytes,
                     same_function_pages=outcome.table.stats.same_function_pages,
                     cross_function_pages=outcome.table.stats.cross_function_pages,
+                    retry_ms=outcome.timings.retry_ms,
+                    retries=outcome.timings.retries,
                 )
             )
             timers = self._timers_for(sandbox)
@@ -952,6 +1041,224 @@ class ClusterController:
         self.nodes[checkpoint.node_id].unpin_checkpoint(checkpoint.checkpoint_id)
         self.basemgr.remove_base(checkpoint)
         self.store.remove(checkpoint.checkpoint_id)
+
+    # ----------------------------------------------------- fault recovery
+
+    def _checkpoint_survives(self, checkpoint: BaseCheckpoint) -> bool:
+        """Whether a checkpoint's content outlives its home node's crash
+        (far-memory residency only; see ``TieredCheckpointStore``)."""
+        return self.tiered_store is not None and self.tiered_store.survives_node_failure(
+            checkpoint
+        )
+
+    def _unreachable_refs(self, table: "DedupPageTable") -> set[int]:
+        """Checkpoint ids in ``table`` whose base pages cannot be read:
+        home node unreachable and content not in a surviving tier."""
+        fabric = next(iter(self.agents.values())).fabric
+        dead: set[int] = set()
+        for checkpoint_id in table.base_refs:
+            checkpoint = self.store.get(checkpoint_id)
+            if self._checkpoint_survives(checkpoint):
+                continue
+            if not fabric.peer_available(checkpoint.node_id):
+                dead.add(checkpoint_id)
+        return dead
+
+    def _replica_for(
+        self, ref: PageRef, dead: set[int], local_node_id: int
+    ) -> PageRef | None:
+        """A live byte-identical replica of ``ref``'s page, or None.
+
+        Prefers a replica already on the restoring sandbox's node (free
+        local reads), then the lowest (checkpoint, page) for determinism.
+        """
+        candidates = []
+        for replica in self.registry.replicas_for(ref):
+            if replica.checkpoint_id in dead:
+                continue
+            if self._faults is not None and not self._faults.health.node_up(
+                replica.node_id
+            ):
+                continue
+            try:
+                self.store.get(replica.checkpoint_id)
+            except KeyError:
+                continue  # retired since it was indexed
+            candidates.append(replica)
+        if not candidates:
+            return None
+        return min(
+            candidates,
+            key=lambda r: (r.node_id != local_node_id, r.checkpoint_id, r.page_index),
+        )
+
+    def _try_rehome(self, sandbox: Sandbox, dead: set[int]) -> bool:
+        """Re-point a dedup sandbox's patched pages at surviving replicas.
+
+        All-or-nothing: either every patched page whose base died has a
+        byte-identical live replica (the patches then apply unchanged)
+        and the table is rewritten, or the table is left untouched and
+        the caller purges.  Refcounts move atomically — acquire the new
+        bases, then release the dead ones exactly once.
+        """
+        if self._faults is None or not self._faults.health.registry_available():
+            return False
+        table = sandbox.dedup_table
+        assert table is not None
+        replacements: dict[PageRef, PageRef] = {}
+        for entry in table.entries:
+            if entry.kind is not PageKind.PATCHED:
+                continue
+            assert entry.base is not None
+            if entry.base.checkpoint_id not in dead:
+                continue
+            if entry.base in replacements:
+                continue
+            replica = self._replica_for(entry.base, dead, sandbox.node_id)
+            if replica is None:
+                return False
+            replacements[entry.base] = replica
+        if not replacements:
+            return False
+        new_entries = tuple(
+            replace(entry, base=replacements[entry.base])
+            if entry.kind is PageKind.PATCHED and entry.base in replacements
+            else entry
+            for entry in table.entries
+        )
+        new_refs: Counter[int] = Counter()
+        for entry in new_entries:
+            if entry.kind is PageKind.PATCHED:
+                assert entry.base is not None
+                new_refs[entry.base.checkpoint_id] += 1
+        moved = sum(
+            count
+            for checkpoint_id, count in table.base_refs.items()
+            if checkpoint_id in dead
+        )
+        for checkpoint_id, count in new_refs.items():
+            self.store.get(checkpoint_id).acquire(count)
+        self._release_base_refs(table)
+        table.entries = new_entries
+        table.base_refs = new_refs
+        self.metrics.restore_replica_fallbacks += 1
+        self.metrics.crash_reconciled_refs += moved
+        return True
+
+    def _crash_purge(self, sandbox: Sandbox) -> None:
+        """Purge a sandbox on a crashed node, whatever it was doing.
+
+        Normalizes transient states first: a RUNNING/RESTORING sandbox
+        has no purge edge in the state machine, so it exits via WARM
+        after its in-flight work is rolled back (refcounts released,
+        dedup census decremented).
+        """
+        if sandbox.state is SandboxState.PURGED:
+            return
+        if sandbox.state is SandboxState.RESTORING:
+            table = sandbox.dedup_table
+            assert table is not None
+            sandbox.dedup_table = None
+            sandbox.busy_request_id = None
+            sandbox.transition(SandboxState.WARM, self.sim.now)
+            self._release_base_refs(table)
+            self.basemgr.note_dedup(sandbox.function, -1)
+        elif sandbox.state is SandboxState.RUNNING:
+            sandbox.busy_request_id = None
+            sandbox.transition(SandboxState.WARM, self.sim.now)
+        self._purge(sandbox, reason="node-crash")
+
+    def on_node_crash(self, node_id: int) -> None:
+        """Reconcile cluster state after ``node_id`` died (DESIGN.md §11).
+
+        1. Cancel and collect the in-flight requests the node was
+           serving (they re-dispatch below, onto surviving nodes).
+        2. Purge every sandbox that lived on the node, rolling back
+           whatever each was mid-way through.
+        3. For base checkpoints that died with the node: abort in-flight
+           dedup ops referencing them, rehome (or purge) the dedup
+           sandboxes patched against them, and retire the orphans.
+        """
+        self._draining = True  # purges must not re-enter dispatch mid-sweep
+        self._crashed_node = node_id
+        node = self.nodes[node_id]
+        displaced: list[tuple[Request, RequestRecord]] = []
+        try:
+            for request_id in [
+                rid
+                for rid, (_, sandbox, _, _) in self._inflight.items()
+                if sandbox.node_id == node_id
+            ]:
+                timer, _, request, record = self._inflight.pop(request_id)
+                timer.cancel()
+                displaced.append((request, record))
+            for sandbox in list(node.sandboxes.values()):
+                self._crash_purge(sandbox)
+                self.metrics.crash_purged_sandboxes += 1
+            dead = {
+                checkpoint.checkpoint_id: checkpoint
+                for checkpoint in list(self.store)
+                if checkpoint.node_id == node_id
+                and not self._checkpoint_survives(checkpoint)
+            }
+            if dead:
+                self._reconcile_dead_bases(dead)
+        finally:
+            self._draining = False
+            self._crashed_node = None
+        for request, record in displaced:
+            self.metrics.requests_rescheduled += 1
+            if not self._try_dispatch(request, record):
+                self._queue.append((request, record))
+                if self.indexed:
+                    self._note_starvation_deadline(self.sim.now + STARVATION_MS + 1.0)
+                else:
+                    self.sim.after(STARVATION_MS + 1.0, self._drain_queue)
+        self._drain_queue()
+
+    def _reconcile_dead_bases(self, dead: dict[int, BaseCheckpoint]) -> None:
+        """Release or re-home every reference into dead base checkpoints."""
+        dead_ids = set(dead)
+        for sandboxes in list(self._by_function.values()):
+            for sandbox in list(sandboxes.values()):
+                if sandbox.state is SandboxState.DEDUPING:
+                    pending = self._pending_dedups.get(sandbox.sandbox_id)
+                    if pending is not None and dead_ids & set(pending[1].table.base_refs):
+                        # The op's output would reference dead bases;
+                        # abort it (the warm image never went away).
+                        self._abort_dedup(sandbox)
+                        self.metrics.crash_reconciled_refs += sum(
+                            count
+                            for cid, count in pending[1].table.base_refs.items()
+                            if cid in dead_ids
+                        )
+                        self._arm_idle_timers(sandbox)
+                elif sandbox.state is SandboxState.DEDUP:
+                    table = sandbox.dedup_table
+                    assert table is not None
+                    lost = sum(
+                        count
+                        for cid, count in table.base_refs.items()
+                        if cid in dead_ids
+                    )
+                    if not lost:
+                        continue
+                    if not self._try_rehome(sandbox, dead_ids):
+                        self.metrics.crash_reconciled_refs += lost
+                        self._purge(sandbox, reason="base-lost")
+                # RESTORING sandboxes already read their base pages (the
+                # simulation charges reads at op start); they finish and
+                # release their references naturally.
+        for checkpoint_id, checkpoint in dead.items():
+            try:
+                self.store.get(checkpoint_id)
+            except KeyError:
+                continue  # already retired while its referents unwound
+            self._maybe_retire_checkpoint(checkpoint)
+
+    def on_fault_heal(self) -> None:
+        """A fault domain recovered: queued work may be schedulable now."""
+        self._drain_queue()
 
     # -------------------------------------------------------------- purge
 
@@ -992,10 +1299,15 @@ class ClusterController:
             # The copy-on-write discount ends with the owner: re-account
             # the pinned checkpoint at its full footprint.
             self.nodes[checkpoint.node_id].recharge_checkpoint(checkpoint.checkpoint_id)
-            if self.tiering and checkpoint.pinned:
+            if (
+                self.tiering
+                and checkpoint.pinned
+                and checkpoint.node_id != self._crashed_node
+            ):
                 # Rather than charge the full footprint to DRAM, move
                 # the ownerless-but-pinned checkpoint down a tier; a
-                # later restore promotes it back if DRAM has room.
+                # later restore promotes it back if DRAM has room.  A
+                # crashed node's devices died with it — nothing to copy.
                 self._demote_checkpoint(checkpoint)
             self._maybe_retire_checkpoint(checkpoint)
         self._drain_queue()

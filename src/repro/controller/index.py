@@ -152,6 +152,16 @@ class NodeUsageIndex:
         insort(self._order, new_key)
         self._keys[node.node_id] = new_key
 
-    def snapshot(self) -> list["Node"]:
-        """Nodes in ascending (used, id) order at this instant."""
-        return [self._nodes[node_id] for _, node_id in self._order]
+    def snapshot(self, exclude: frozenset[int] | set[int] = frozenset()) -> list["Node"]:
+        """Nodes in ascending (used, id) order at this instant.
+
+        ``exclude`` filters out down nodes (fault layer); the common
+        no-fault call keeps the allocation-only fast path.
+        """
+        if not exclude:
+            return [self._nodes[node_id] for _, node_id in self._order]
+        return [
+            self._nodes[node_id]
+            for _, node_id in self._order
+            if node_id not in exclude
+        ]

@@ -43,6 +43,8 @@ import numpy as np
 from repro._util import LruCache
 from repro.core.costs import CostModel, StageOverlap, pipelined_ms
 from repro.core.registry import FingerprintRegistry, PageRef
+from repro.faults.health import RegistryUnavailable
+from repro.faults.retry import RetryExhausted, TransientFaults
 from repro.memory.fingerprint import (
     FingerprintConfig,
     batch_page_fingerprints,
@@ -200,6 +202,10 @@ class DedupTimings:
     base_read_ms: float
     patch_ms: float
     overlap: StageOverlap | None = None
+    retry_ms: float = 0.0
+    """Transient-RPC timeout/backoff latency (serial prologue; fault
+    layer only — zero otherwise)."""
+    retries: int = 0
 
     @property
     def total_ms(self) -> float:
@@ -210,6 +216,7 @@ class DedupTimings:
                 + self.lookup_ms
                 + self.base_read_ms
                 + self.patch_ms
+                + self.retry_ms
             )
         stages = (
             self.fingerprint_ms / self.overlap.workers,
@@ -217,7 +224,9 @@ class DedupTimings:
             self.base_read_ms,
             self.patch_ms / self.overlap.workers,
         )
-        return self.checkpoint_ms + pipelined_ms(stages, self.overlap.batches)
+        return self.checkpoint_ms + self.retry_ms + pipelined_ms(
+            stages, self.overlap.batches
+        )
 
 
 @dataclass(frozen=True)
@@ -251,6 +260,10 @@ class RestoreTimings:
     overlap: StageOverlap | None = None
     """Stage-overlap accounting (parallel data plane): patch apply
     divides across workers and pipelines against the base reads."""
+    retry_ms: float = 0.0
+    """Transient-RPC timeout/backoff latency (serial prologue; fault
+    layer only — zero otherwise)."""
+    retries: int = 0
 
     @property
     def total_ms(self) -> float:
@@ -269,7 +282,7 @@ class RestoreTimings:
             )
         else:
             fetch = self.base_read_ms + compute_ms
-        return fetch + self.restore_ms
+        return fetch + self.restore_ms + self.retry_ms
 
 
 @dataclass(frozen=True)
@@ -299,6 +312,7 @@ class DedupAgent:
         recorder: WorkingSetRecorder | None = None,
         parallel: "ParallelConfig | None" = None,
         overlap_costs: "ParallelConfig | None" = None,
+        transients: TransientFaults | None = None,
     ):
         if not 0 < content_scale <= 1:
             raise ValueError("content_scale must be in (0, 1]")
@@ -324,6 +338,13 @@ class DedupAgent:
         for this parallel shape (None = serial stage sums).  Independent
         of ``parallel``: the simulator models the overlap without
         needing real worker processes."""
+        self.transients = transients
+        """Seeded transient-RPC failure model (fault layer; None = RPCs
+        never fail transiently).  Registry lookups and remote base-page
+        fetches draw a retry plan from it, charge the timeout/backoff
+        latency into the op's timings, and surface
+        :class:`RegistryUnavailable` / :class:`RetryExhausted` when
+        every attempt fails."""
         self._plane: "DataPlane | None" = None
         self.dedup_ops = 0
         self.restore_ops = 0
@@ -584,6 +605,19 @@ class DedupAgent:
         saved: int,
     ) -> DedupOutcome:
         """Shared tail of both dedup paths: refcounts, table, timings."""
+        # Resolve the registry RPC's transient-fault plan BEFORE touching
+        # refcounts: an exhausted op must leave no state behind.
+        retry_ms = 0.0
+        retries = 0
+        if self.transients is not None:
+            plan = self.transients.plan("registry-lookup")
+            if not plan.succeeded:
+                raise RegistryUnavailable(
+                    f"registry lookup for sandbox {sandbox.sandbox_id}: "
+                    f"all {plan.attempts} attempts timed out"
+                )
+            retry_ms = plan.charged_ms
+            retries = plan.attempts
         for checkpoint_id, count in base_refs.items():
             self.store.get(checkpoint_id).acquire(count)
 
@@ -633,6 +667,8 @@ class DedupAgent:
                 max(1, round(patched_pages * scale_up))
             ),
             overlap=overlap,
+            retry_ms=retry_ms,
+            retries=retries,
         )
         self.dedup_ops += 1
         return DedupOutcome(table=table, timings=timings)
@@ -667,6 +703,21 @@ class DedupAgent:
                 reads_by_peer[entry.base.node_id] += 1
                 by_checkpoint[entry.base.checkpoint_id].append(index)
                 patched += 1
+
+        # Resolve the base-fetch RPC's transient-fault plan before any
+        # cost is charged: exhausted retries surface RetryExhausted and
+        # the controller takes the next rung of the fallback ladder.
+        # Entirely-local fetches involve no RPC and never fail this way.
+        retry_ms = 0.0
+        retries = 0
+        if self.transients is not None and any(
+            peer != self.node_id for peer in reads_by_peer
+        ):
+            plan = self.transients.plan("restore-fetch")
+            if not plan.succeeded:
+                raise RetryExhausted("restore-fetch", plan.attempts, plan.charged_ms)
+            retry_ms = plan.charged_ms
+            retries = plan.attempts
 
         # Fetch the base pages first: an unreachable peer raises
         # PeerUnavailable *before* any reconstruction work, and the
@@ -719,6 +770,8 @@ class DedupAgent:
             prefetch_hit_pages=hit_pages,
             prefetch_miss_pages=miss_pages,
             overlap=self._stage_overlap(max(1, round(patched * scale_up))),
+            retry_ms=retry_ms,
+            retries=retries,
         )
         self.restore_ops += 1
         return RestoreOutcome(image=image, timings=timings)

@@ -121,6 +121,10 @@ class ClusterView:
     capacity_bytes: int
     rate_shares: dict[str, float]
     """Per function share of total arrival rate (for budget splitting)."""
+    registry_available: bool = True
+    """False while a fingerprint-registry shard is down: the fleet
+    degrades to warm/cold-only and no new dedup ops are admitted
+    (DESIGN.md §11)."""
 
     @property
     def free_fraction(self) -> float:
@@ -239,6 +243,10 @@ class MedesPolicy:
 
     def decide_idle(self, function: str, view: ClusterView) -> Decision:
         """Compare the live dedup count with the optimizer's D*."""
+        if not view.registry_available:
+            # Registry outage: a dedup op could neither look up bases
+            # nor register state — degrade to keep-warm until it heals.
+            return Decision.KEEP_WARM
         stats = self.stats[function]
         total = view.live_counts.get(function, 0)
         if total <= 0:

@@ -116,6 +116,15 @@ class FingerprintRegistry:
         self.max_refs_per_digest = max_refs_per_digest
         self._buckets: dict[int, list[PageRef]] = defaultdict(list)
         self._by_checkpoint: dict[int, list[tuple[int, PageRef]]] = defaultdict(list)
+        # Full-page content digests -> byte-identical base pages.  This
+        # replica index backs the fault-recovery re-homing path: a patch
+        # computed against a dead base page applies unchanged against any
+        # replica listed here.
+        self._page_locations: dict[int, list[PageRef]] = defaultdict(list)
+        self._location_of: dict[PageRef, int] = {}
+        self._locations_by_checkpoint: dict[int, list[tuple[int, PageRef]]] = (
+            defaultdict(list)
+        )
         self.stats = RegistryStats()
 
     # ------------------------------------------------------- digest level
@@ -178,7 +187,72 @@ class FingerprintRegistry:
                 pass
             if not bucket:
                 del self._buckets[digest]
+        for page_digest, ref in self._locations_by_checkpoint.pop(checkpoint_id, []):
+            self._location_of.pop(ref, None)
+            bucket = self._page_locations.get(page_digest)
+            if bucket is None:
+                continue
+            try:
+                bucket.remove(ref)
+            except ValueError:
+                pass
+            if not bucket:
+                del self._page_locations[page_digest]
         return removed
+
+    # ----------------------------------------------------- page locations
+
+    def register_page_location(self, ref: PageRef, page_digest: int) -> bool:
+        """Index a base page's full-content digest for replica lookup.
+
+        Idempotent; buckets are capped at ``max_refs_per_digest`` like
+        fingerprint buckets.  Returns True when the ref was stored.
+        """
+        bucket = self._page_locations[page_digest]
+        if ref in bucket or len(bucket) >= self.max_refs_per_digest:
+            if not bucket:
+                del self._page_locations[page_digest]
+            return False
+        bucket.append(ref)
+        self._location_of[ref] = page_digest
+        self._locations_by_checkpoint[ref.checkpoint_id].append((page_digest, ref))
+        return True
+
+    def page_replicas(self, page_digest: int) -> tuple[PageRef, ...]:
+        """All registered base pages whose content hashes to ``page_digest``."""
+        return tuple(self._page_locations.get(page_digest, ()))
+
+    def replicas_for(self, ref: PageRef) -> tuple[PageRef, ...]:
+        """Byte-identical alternatives to ``ref`` (re-homing candidates)."""
+        page_digest = self._location_of.get(ref)
+        if page_digest is None:
+            return ()
+        return tuple(r for r in self.page_replicas(page_digest) if r != ref)
+
+    # ------------------------------------------------------- fault domain
+
+    @property
+    def n_shards(self) -> int:
+        """A plain registry is a single shard."""
+        return 1
+
+    def drop_state(self) -> None:
+        """Forget every table entry, simulating shard data loss.
+
+        Stats survive — they are observability counters, not shard
+        state — and callers rebuild the tables by re-registering the
+        surviving base checkpoints (idempotently)."""
+        self._buckets.clear()
+        self._by_checkpoint.clear()
+        self._page_locations.clear()
+        self._location_of.clear()
+        self._locations_by_checkpoint.clear()
+
+    def drop_shard(self, index: int) -> None:
+        """Shard-indexed data loss; a plain registry has only shard 0."""
+        if index != 0:
+            raise ValueError("unsharded registry has only shard 0")
+        self.drop_state()
 
     def lookup(self, fingerprint: PageFingerprint) -> Counter[PageRef]:
         """Candidate base pages scored by sampled-chunk overlap."""
@@ -258,7 +332,11 @@ class FingerprintRegistry:
     def memory_bytes(self) -> int:
         """Estimated registry footprint (for controller-overhead reporting)."""
         refs = sum(len(bucket) for bucket in self._buckets.values())
-        return len(self._buckets) * _DIGEST_BYTES + refs * _REF_BYTES
+        location_refs = sum(len(bucket) for bucket in self._page_locations.values())
+        return (
+            (len(self._buckets) + len(self._page_locations)) * _DIGEST_BYTES
+            + (refs + location_refs) * _REF_BYTES
+        )
 
     def shard_for(self, digest: int, n_shards: int) -> int:
         """Key-partitioned shard placement (the Section 4.3 scaling path).
@@ -310,6 +388,11 @@ class ShardedFingerprintRegistry:
             for _ in range(n_shards)
         ]
         self._page_stats = RegistryStats()
+        # Front-end routing metadata for the replica index: which shard
+        # holds a ref's page-location entry.  Deliberately *not* shard
+        # state — it survives shard loss so recovery can still route.
+        self._location_route: dict[PageRef, int] = {}
+        self._route_by_checkpoint: dict[int, list[PageRef]] = defaultdict(list)
 
     def shard_for(self, digest: int) -> int:
         return digest % self.n_shards
@@ -334,7 +417,35 @@ class ShardedFingerprintRegistry:
         )
 
     def deregister_checkpoint(self, checkpoint_id: int) -> int:
+        for ref in self._route_by_checkpoint.pop(checkpoint_id, []):
+            self._location_route.pop(ref, None)
         return sum(shard.deregister_checkpoint(checkpoint_id) for shard in self.shards)
+
+    # ----------------------------------------------------- page locations
+
+    def register_page_location(self, ref: PageRef, page_digest: int) -> bool:
+        """Route the replica-index entry to its shard (idempotent)."""
+        if ref not in self._location_route:
+            self._location_route[ref] = page_digest
+            self._route_by_checkpoint[ref.checkpoint_id].append(ref)
+        return self.shards[self.shard_for(page_digest)].register_page_location(
+            ref, page_digest
+        )
+
+    def page_replicas(self, page_digest: int) -> tuple[PageRef, ...]:
+        return self.shards[self.shard_for(page_digest)].page_replicas(page_digest)
+
+    def replicas_for(self, ref: PageRef) -> tuple[PageRef, ...]:
+        page_digest = self._location_route.get(ref)
+        if page_digest is None:
+            return ()
+        return tuple(r for r in self.page_replicas(page_digest) if r != ref)
+
+    # ------------------------------------------------------- fault domain
+
+    def drop_shard(self, index: int) -> None:
+        """Lose one shard's table content (front-end routing survives)."""
+        self.shards[index].drop_state()
 
     def _merge(
         self,

@@ -154,9 +154,10 @@ class Patch:
             else:
                 raise ValueError(f"unknown op tag {tag:#x}")
         try:
-            return cls(ops=tuple(ops), target_len=target_len, base_len=base_len)
+            patch = cls(ops=tuple(ops), target_len=target_len, base_len=base_len)
         except ValueError as exc:
             raise ValueError(f"inconsistent patch blob: {exc}") from exc
+        return patch
 
 
 def _as_array(buf: bytes | np.ndarray) -> np.ndarray:

@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 
 from repro._util import MIB, PAGE_SIZE
 from repro.core.costs import CostModel
+from repro.faults.schedule import FaultsConfig
 from repro.memory.fingerprint import FingerprintConfig
 from repro.parallel.config import ParallelConfig
 from repro.sandbox.node import EvictionOrder
@@ -100,6 +101,16 @@ class ClusterConfig:
     parallel: ParallelConfig = field(default_factory=ParallelConfig)
     """Shape of the parallel data plane (only read when
     ``parallel_data_plane`` is on)."""
+    faults: FaultsConfig | None = None
+    """Fault injection and recovery (DESIGN.md §11): a seeded
+    :class:`~repro.faults.schedule.FaultSchedule` of node crashes,
+    registry-shard outages and link faults, plus per-op transient RPC
+    failures with retry/backoff.  ``None`` (the default) disables the
+    fault layer entirely and is pinned bit-identical to a build without
+    it; an empty ``FaultsConfig()`` enables the layer but injects
+    nothing — also bit-identical, by the equivalence tests.  All fault
+    randomness is seeded (``seed`` + ``faults.seed``), so a faulted run
+    reproduces bit-for-bit."""
 
     def __post_init__(self) -> None:
         if self.nodes <= 0:

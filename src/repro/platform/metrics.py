@@ -36,6 +36,10 @@ class RequestRecord:
     startup_ms: float = 0.0
     exec_ms: float = 0.0
     completion_ms: float | None = None
+    retry_penalty_ms: float = 0.0
+    """Latency of *failed* fallback attempts (exhausted retries against
+    an earlier dispatch candidate) charged into ``startup_ms`` when the
+    request finally starts.  Zero unless the fault layer is active."""
 
     @property
     def e2e_ms(self) -> float:
@@ -65,6 +69,9 @@ class DedupOpRecord:
     retained_full_bytes: int
     same_function_pages: int
     cross_function_pages: int
+    retry_ms: float = 0.0
+    """Transient-RPC timeout/backoff latency charged to the op (faults)."""
+    retries: int = 0
 
 
 @dataclass(frozen=True)
@@ -116,6 +123,9 @@ class RestoreOpRecord:
     (0 = serial accounting; mirrors ``RestoreTimings.overlap``)."""
     overlap_batches: int = 0
     """Page batches the op software-pipelined over (0 = serial)."""
+    retry_ms: float = 0.0
+    """Transient-RPC timeout/backoff latency charged to the op (faults)."""
+    retries: int = 0
 
     @property
     def total_ms(self) -> float:
@@ -134,7 +144,7 @@ class RestoreOpRecord:
             fetch = ramp + steady + self.miss_read_ms
         else:
             fetch = self.base_read_ms + compute_ms
-        return fetch + self.restore_ms + self.promote_ms
+        return fetch + self.restore_ms + self.promote_ms + self.retry_ms
 
 
 @dataclass(frozen=True)
@@ -172,6 +182,37 @@ class TierSample:
     ssd_bytes: int
     cold_tables: int
     """Dedup sandboxes whose patch table is parked on SSD."""
+
+
+@dataclass(frozen=True)
+class FaultEventRecord:
+    """One injected fault or heal, as it fired (DESIGN.md §11)."""
+
+    time_ms: float
+    kind: str
+    """"node-crash", "node-restored", "shard-down", "shard-restored",
+    "link-degraded", "link-partitioned" or "link-restored"."""
+    domain: str
+    """Failure domain label, e.g. "node:2", "shard:0", "link:1"."""
+
+
+#: Pairing of fault kinds to their heal kinds, for MTTR computation.
+_HEAL_KIND = {
+    "node-crash": "node-restored",
+    "shard-down": "shard-restored",
+    "link-degraded": "link-restored",
+    "link-partitioned": "link-restored",
+}
+
+
+@dataclass(frozen=True)
+class AvailabilitySample:
+    """Cluster availability right after a fault event took effect."""
+
+    time_ms: float
+    nodes_up: int
+    shards_up: int
+    degraded_links: int
 
 
 @dataclass
@@ -216,6 +257,36 @@ class RunMetrics:
     """Arrived-but-not-completed requests, maintained by
     :meth:`on_arrival`/:meth:`on_completion` so the platform's drain
     loop is an O(1) counter check instead of a scan of every record."""
+    fault_events: list[FaultEventRecord] = field(default_factory=list)
+    """Injected faults and heals, in firing order (empty without faults)."""
+    availability_timeline: list[AvailabilitySample] = field(default_factory=list)
+    """Availability after each fault event (empty without faults)."""
+    rpc_retries: int = 0
+    """Failed transient-RPC attempts that were retried (fault layer)."""
+    retry_backoff_ms: float = 0.0
+    """Total timeout + backoff latency charged to retried ops."""
+    rpc_exhausted_ops: int = 0
+    """Ops whose every retry attempt failed (fell down the ladder)."""
+    restore_replica_fallbacks: int = 0
+    """Dedup sandboxes re-homed onto byte-identical replica base pages
+    after their original base died."""
+    restore_cold_fallbacks: int = 0
+    """Dispatches that fell through failed dedup candidates to a cold
+    start."""
+    dedup_deferrals: int = 0
+    """Dedup ops skipped or abandoned because the registry was
+    unavailable (warm-only degradation)."""
+    requests_rescheduled: int = 0
+    """In-flight requests whose node crashed and that were re-dispatched."""
+    crash_purged_sandboxes: int = 0
+    """Sandboxes lost to node crashes (crash purge, not eviction)."""
+    crash_reconciled_refs: int = 0
+    """Orphaned base refcounts released or re-homed during crash
+    reconciliation."""
+    shard_rebuilds: int = 0
+    shard_rebuild_ms: float = 0.0
+    """Charged time rebuilding lost registry shards from surviving
+    agents' base checkpoints."""
 
     # -------------------------------------------------------------- record
 
@@ -289,6 +360,28 @@ class RunMetrics:
             return 0.0
         deduped = len({op.sandbox_id for op in self.dedup_ops})
         return deduped / self.sandboxes_created
+
+    def mttr_ms(self) -> float:
+        """Mean time-to-recovery over healed fault events (0.0 if none).
+
+        Pairs each fault with its heal per failure domain; faults never
+        healed within the run are excluded.  For shard outages the heal
+        event fires only after the charged rebuild, so MTTR includes
+        rebuild time.
+        """
+        open_faults: dict[tuple[str, str], float] = {}
+        durations: list[float] = []
+        for event in self.fault_events:
+            heal_kind = _HEAL_KIND.get(event.kind)
+            if heal_kind is not None:
+                open_faults[(heal_kind, event.domain)] = event.time_ms
+            else:
+                started = open_faults.pop((event.kind, event.domain), None)
+                if started is not None:
+                    durations.append(event.time_ms - started)
+        if not durations:
+            return 0.0
+        return sum(durations) / len(durations)
 
     def functions(self) -> tuple[str, ...]:
         seen: dict[str, None] = {}

@@ -11,12 +11,16 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, replace
 
+from repro._util import stable_seed
 from repro.controller.baselines import AdaptiveKeepAlivePolicy, FixedKeepAlivePolicy
 from repro.controller.controller import ClusterController
 from repro.core.agent import DedupAgent
 from repro.core.basemgr import BaseSandboxManager
 from repro.core.policy import FunctionStats, LifecyclePolicy, MedesPolicy, MedesPolicyConfig
 from repro.core.registry import FingerprintRegistry, ShardedFingerprintRegistry
+from repro.faults.health import FaultDomainHealth, FaultRuntime
+from repro.faults.injector import FaultInjector
+from repro.faults.retry import TransientFaults
 from repro.platform.config import ClusterConfig, ColdStartMode
 from repro.platform.metrics import MemorySample, RunMetrics, TierSample
 from repro.sandbox.checkpoint import CheckpointStore
@@ -108,6 +112,20 @@ class Platform:
             self.store = CheckpointStore()
             self.recorder = None
         self.basemgr = BaseSandboxManager(self.store, threshold=config.base_threshold)
+        if config.faults is not None:
+            self.faults: FaultRuntime | None = FaultRuntime(
+                config=config.faults,
+                health=FaultDomainHealth(
+                    nodes=config.nodes, shards=config.registry_shards
+                ),
+                transients=TransientFaults(
+                    config.faults.rpc_failure_prob,
+                    config.faults.retry,
+                    seed=stable_seed("transient-rpc", config.seed, config.faults.seed),
+                ),
+            )
+        else:
+            self.faults = None
         self.nodes = [
             Node(
                 node_id=i,
@@ -129,6 +147,7 @@ class Platform:
                 tiering=config.checkpoint_tiering,
                 recorder=self.recorder,
                 overlap_costs=config.parallel if config.parallel_data_plane else None,
+                transients=self.faults.transients if self.faults is not None else None,
             )
             for node in self.nodes
         }
@@ -144,6 +163,21 @@ class Platform:
             store=self.store,
             basemgr=self.basemgr,
             stats=stats,
+            faults=self.faults,
+        )
+        self.injector: FaultInjector | None = (
+            FaultInjector(
+                sim=self.sim,
+                config=config,
+                runtime=self.faults,
+                fabric=self.fabric,
+                registry=self.registry,
+                controller=self.controller,
+                store=self.store,
+                metrics=self.metrics,
+            )
+            if self.faults is not None
+            else None
         )
 
     def cluster_snapshot(self) -> dict:
@@ -216,6 +250,8 @@ class Platform:
         of quiet time has elapsed (so background dedup ops finish), but
         lifecycle timers beyond that point are not waited for.
         """
+        if self.injector is not None:
+            self.injector.arm()
         for request in trace:
             self.sim.at(request.arrival_ms, lambda r=request: self.controller.submit(r))
         self.sim.every(self.config.memory_sample_interval_ms, self._sample_memory)
@@ -252,6 +288,11 @@ class Platform:
         self.metrics.anchor_index_cache_misses = sum(
             a.anchor_index_cache.misses for a in agents
         )
+        if self.faults is not None:
+            transients = self.faults.transients
+            self.metrics.rpc_retries = transients.retried_attempts
+            self.metrics.retry_backoff_ms = transients.charged_backoff_ms
+            self.metrics.rpc_exhausted_ops = transients.exhausted_ops
         return RunReport(
             platform_name=self.name,
             config=self.config,

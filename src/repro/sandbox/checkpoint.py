@@ -120,10 +120,10 @@ class CheckpointStore:
         ] = checkpoint
 
     def get(self, checkpoint_id: int) -> BaseCheckpoint:
-        try:
-            return self._by_id[checkpoint_id]
-        except KeyError:
-            raise KeyError(f"unknown checkpoint {checkpoint_id}") from None
+        checkpoint = self._by_id.get(checkpoint_id)
+        if checkpoint is None:
+            raise KeyError(f"unknown checkpoint {checkpoint_id}")
+        return checkpoint
 
     def remove(self, checkpoint_id: int) -> BaseCheckpoint:
         """Drop a checkpoint; refuses while it is still pinned."""

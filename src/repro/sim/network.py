@@ -54,6 +54,7 @@ class TransferStats:
     local_reads: int = 0
     local_bytes: int = 0
     failed_reads: int = 0
+    degraded_reads: int = 0
 
 
 class PeerUnavailable(RuntimeError):
@@ -77,6 +78,7 @@ class RdmaFabric:
         self.config = config or RdmaConfig()
         self.stats = TransferStats()
         self._failed_peers: set = set()
+        self._degraded: dict = {}
 
     # ------------------------------------------------------------ failures
 
@@ -91,12 +93,28 @@ class RdmaFabric:
     def peer_available(self, peer: object) -> bool:
         return peer not in self._failed_peers
 
+    def degrade_peer(self, peer: object, factor: float) -> None:
+        """Slow the link to ``peer``: remote reads cost ``factor`` times more."""
+        if factor < 1.0:
+            raise ValueError("degradation factor must be >= 1")
+        self._degraded[peer] = factor
+
+    def heal_peer(self, peer: object) -> None:
+        """Restore the link to ``peer`` to full speed."""
+        self._degraded.pop(peer, None)
+
+    def link_factor(self, peer: object) -> float:
+        """Current latency multiplier of the link to ``peer``."""
+        return self._degraded.get(peer, 1.0)
+
     def require_peer(self, peer: object) -> None:
         """Raise :class:`PeerUnavailable` if ``peer`` is unreachable.
 
         For callers that charge non-fabric costs against a peer's local
         storage (e.g. its SSD) and must share the fabric's failure
-        domain and ``failed_reads`` accounting."""
+        domain and ``failed_reads`` accounting.  Counts one failed read
+        per call, matching the once-per-batch rule of
+        :meth:`batch_read_ms`."""
         self._check_peer(peer)
 
     def _check_peer(self, peer: object) -> None:
@@ -132,10 +150,20 @@ class RdmaFabric:
         the slowest peer's completion time.
         """
         # Validate reachability before charging any cost: a restore either
-        # proceeds in full or fails fast to its fallback.
-        for peer, (ops, _nbytes) in reads_by_peer.items():
-            if ops > 0 and peer != local_peer:
-                self._check_peer(peer)
+        # proceeds in full or fails fast to its fallback.  Failed-read
+        # accounting is ONCE PER BATCH — an aborted batch increments
+        # ``failed_reads`` exactly once, no matter how many of its peers
+        # are down nor how many ops targeted them, and the check-and-count
+        # is atomic within this call, so a ``restore_peer`` between two
+        # batches can never produce a half-counted batch.
+        unreachable = [
+            peer
+            for peer, (ops, _nbytes) in reads_by_peer.items()
+            if ops > 0 and peer != local_peer and peer in self._failed_peers
+        ]
+        if unreachable:
+            self.stats.failed_reads += 1
+            raise PeerUnavailable(unreachable[0])
         worst = 0.0
         for peer, (ops, nbytes) in reads_by_peer.items():
             if ops < 0 or nbytes < 0:
@@ -154,5 +182,9 @@ class RdmaFabric:
                     + (ops - 1) * self.config.pipelined_op_us / 1e3
                     + self._serialize_ms(nbytes)
                 )
+                factor = self._degraded.get(peer)
+                if factor is not None:
+                    cost *= factor
+                    self.stats.degraded_reads += ops
             worst = max(worst, cost)
         return worst

@@ -149,6 +149,17 @@ class TieredCheckpointStore(CheckpointStore):
             checkpoint.tier = StorageTier.NODE_DRAM
         return checkpoint
 
+    # ------------------------------------------------------ fault domain
+
+    def survives_node_failure(self, checkpoint: BaseCheckpoint) -> bool:
+        """Whether ``checkpoint``'s content outlives its home node's crash.
+
+        Only far-memory residency does: the cluster-wide REMOTE_DRAM
+        pool has no single node's failure domain, while NODE_DRAM and
+        LOCAL_SSD state dies with the owning node (the SSD model shares
+        the node's fate — DESIGN.md §9)."""
+        return checkpoint.tier is StorageTier.REMOTE_DRAM
+
     # ------------------------------------------------- dedup-cold tables
 
     def ssd_fits(self, node_id: int, nbytes: int) -> bool:

@@ -1,0 +1,122 @@
+"""``ClusterConfig.faults`` determinism contract.
+
+``faults=None`` (the default) must be pinned bit-identical — same
+``RunMetrics``, same duration — to a run with the fault layer *enabled
+but injecting nothing* (``FaultsConfig()``), across every platform kind
+and eviction-order ablation.  This is what lets the fault layer ride in
+the hot path unconditionally: enabling it cannot perturb a healthy run
+by a single float.
+
+Separately, a faulty run under a fixed seed must reproduce itself
+bit-for-bit (the seeded-chaos half of the determinism contract).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import replace
+
+import pytest
+
+import repro.sandbox.checkpoint as checkpoint_module
+import repro.sandbox.sandbox as sandbox_module
+from repro.core.policy import MedesPolicyConfig
+from repro.faults.schedule import FaultSchedule, FaultsConfig, NodeCrash
+from repro.platform.config import ClusterConfig
+from repro.platform.platform import PlatformKind, build_platform
+from repro.sandbox.node import EvictionOrder
+from repro.workload.azure import AzureTraceGenerator
+from repro.workload.functionbench import FunctionBenchSuite
+
+SCALE = 1.0 / 256.0
+
+MEDES = MedesPolicyConfig(idle_period_ms=5_000.0, alpha=25.0)
+
+
+def _build_kwargs(kind):
+    return {"medes": MEDES} if kind is PlatformKind.MEDES else {}
+
+
+def run_with_faults(kind, config, suite, trace, faults):
+    """One run with process-global id counters reset for comparability."""
+    sandbox_module._sandbox_ids = itertools.count(1)
+    checkpoint_module._checkpoint_ids = itertools.count(1)
+    platform = build_platform(
+        kind, replace(config, faults=faults), suite, **_build_kwargs(kind)
+    )
+    return platform.run(trace)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    suite = FunctionBenchSuite.subset(["Vanilla", "LinAlg", "FeatureGen"])
+    trace = AzureTraceGenerator(seed=3).generate(4.0, suite.names())
+    return suite, trace
+
+
+class TestDisabledVsEmptyLayer:
+    """faults=None == FaultsConfig() to the bit, on every platform."""
+
+    CONFIG = ClusterConfig(nodes=2, node_memory_mb=512.0, content_scale=SCALE, seed=2)
+
+    @pytest.mark.parametrize("kind", list(PlatformKind))
+    def test_platform_kinds(self, kind, workload):
+        suite, trace = workload
+        disabled = run_with_faults(kind, self.CONFIG, suite, trace, None)
+        empty = run_with_faults(kind, self.CONFIG, suite, trace, FaultsConfig())
+        assert empty.duration_ms == disabled.duration_ms
+        assert empty.metrics == disabled.metrics
+
+    @pytest.mark.parametrize("order", list(EvictionOrder))
+    def test_eviction_orders_under_pressure(self, order):
+        suite = FunctionBenchSuite.subset(["FeatureGen", "RNNModel"])
+        config = ClusterConfig(
+            nodes=1,
+            node_memory_mb=256.0,
+            content_scale=SCALE,
+            seed=7,
+            eviction_order=order,
+        )
+        trace = AzureTraceGenerator(seed=5, rate_scale=8.0).generate(3.0, suite.names())
+        disabled = run_with_faults(PlatformKind.MEDES, config, suite, trace, None)
+        empty = run_with_faults(
+            PlatformKind.MEDES, config, suite, trace, FaultsConfig()
+        )
+        assert disabled.metrics.evictions > 0, "workload must exercise eviction"
+        assert empty.duration_ms == disabled.duration_ms
+        assert empty.metrics == disabled.metrics
+
+
+class TestSeededChaosReproduces:
+    """The same faulty config replays bit-for-bit."""
+
+    FAULTS = FaultsConfig(
+        schedule=FaultSchedule(
+            node_crashes=(NodeCrash(at_ms=45_000.0, node_id=1, restart_at_ms=90_000.0),)
+        ),
+        rpc_failure_prob=0.05,
+        seed=13,
+    )
+
+    def test_identical_twice(self, workload):
+        suite, trace = workload
+        config = ClusterConfig(
+            nodes=2, node_memory_mb=512.0, content_scale=SCALE, seed=2
+        )
+        first = run_with_faults(PlatformKind.MEDES, config, suite, trace, self.FAULTS)
+        second = run_with_faults(PlatformKind.MEDES, config, suite, trace, self.FAULTS)
+        assert first.duration_ms == second.duration_ms
+        assert first.metrics == second.metrics
+        assert first.metrics.fault_events, "the crash must have been injected"
+
+    def test_transient_seed_changes_the_run(self, workload):
+        suite, trace = workload
+        config = ClusterConfig(
+            nodes=2, node_memory_mb=512.0, content_scale=SCALE, seed=2
+        )
+        probed = FaultsConfig(rpc_failure_prob=0.3, seed=13)
+        reseeded = FaultsConfig(rpc_failure_prob=0.3, seed=14)
+        first = run_with_faults(PlatformKind.MEDES, config, suite, trace, probed)
+        second = run_with_faults(PlatformKind.MEDES, config, suite, trace, reseeded)
+        # Both complete; the retry streams differ under different seeds.
+        assert first.metrics.rpc_retries > 0 or second.metrics.rpc_retries > 0

@@ -1,0 +1,113 @@
+"""Fabric fault accounting: once-per-batch failed reads, link degradation.
+
+Pins the failed-read accounting contract of :meth:`RdmaFabric.batch_read_ms`
+(the historical asymmetry between single and batched reads against a
+failed peer): an aborted batch counts exactly ONE failed read regardless
+of how many ops or how many down peers it contained, and the
+check-and-count is atomic — a peer restored between two batches can
+never yield a half-counted batch.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.network import PeerUnavailable, RdmaFabric
+
+
+class TestFailedReadAccounting:
+    def test_batch_counts_one_failure_regardless_of_ops(self):
+        fabric = RdmaFabric()
+        fabric.fail_peer(1)
+        with pytest.raises(PeerUnavailable):
+            fabric.batch_read_ms({1: (500, 500 * 4096)}, local_peer=0)
+        assert fabric.stats.failed_reads == 1
+
+    def test_batch_counts_one_failure_with_multiple_down_peers(self):
+        fabric = RdmaFabric()
+        fabric.fail_peer(1)
+        fabric.fail_peer(2)
+        with pytest.raises(PeerUnavailable):
+            fabric.batch_read_ms(
+                {1: (5, 4096), 2: (7, 4096), 3: (2, 4096)}, local_peer=0
+            )
+        assert fabric.stats.failed_reads == 1
+        # Fail-fast: nothing was charged for the reachable peer either.
+        assert fabric.stats.remote_reads == 0
+
+    def test_restore_peer_between_batches_cannot_half_count(self):
+        fabric = RdmaFabric()
+        fabric.fail_peer(1)
+        fabric.fail_peer(2)
+        with pytest.raises(PeerUnavailable):
+            fabric.batch_read_ms({1: (5, 4096), 2: (5, 4096)}, local_peer=0)
+        fabric.restore_peer(1)
+        with pytest.raises(PeerUnavailable):
+            fabric.batch_read_ms({1: (5, 4096), 2: (5, 4096)}, local_peer=0)
+        # One count per aborted batch: 2 batches -> 2, never 3 or 1.5x.
+        assert fabric.stats.failed_reads == 2
+        fabric.restore_peer(2)
+        assert fabric.batch_read_ms({1: (5, 4096), 2: (5, 4096)}, local_peer=0) > 0
+        assert fabric.stats.failed_reads == 2
+
+    def test_zero_op_entry_for_failed_peer_does_not_abort(self):
+        fabric = RdmaFabric()
+        fabric.fail_peer(1)
+        cost = fabric.batch_read_ms({1: (0, 0), 2: (3, 4096)}, local_peer=0)
+        assert cost > 0
+        assert fabric.stats.failed_reads == 0
+
+    def test_failed_local_peer_is_ignored(self):
+        fabric = RdmaFabric()
+        fabric.fail_peer(0)
+        assert fabric.batch_read_ms({0: (3, 4096)}, local_peer=0) >= 0.0
+        assert fabric.stats.failed_reads == 0
+
+    def test_require_peer_counts_once_per_call(self):
+        fabric = RdmaFabric()
+        fabric.fail_peer(4)
+        for _ in range(3):
+            with pytest.raises(PeerUnavailable):
+                fabric.require_peer(4)
+        assert fabric.stats.failed_reads == 3
+
+    def test_single_read_and_batch_agree(self):
+        """The single-op accounting matches a one-op batch (the original
+        asymmetry this contract fixed)."""
+        a, b = RdmaFabric(), RdmaFabric()
+        a.fail_peer(1)
+        b.fail_peer(1)
+        with pytest.raises(PeerUnavailable):
+            a.require_peer(1)
+        with pytest.raises(PeerUnavailable):
+            b.batch_read_ms({1: (1, 4096)}, local_peer=0)
+        assert a.stats.failed_reads == b.stats.failed_reads == 1
+
+
+class TestLinkDegradation:
+    def test_degraded_link_multiplies_remote_cost(self):
+        fabric = RdmaFabric()
+        base = fabric.batch_read_ms({1: (10, 10 * 4096)}, local_peer=0)
+        fabric.degrade_peer(1, 4.0)
+        slow = fabric.batch_read_ms({1: (10, 10 * 4096)}, local_peer=0)
+        assert slow == pytest.approx(4.0 * base)
+        assert fabric.stats.degraded_reads == 10
+
+    def test_heal_restores_full_speed(self):
+        fabric = RdmaFabric()
+        fabric.degrade_peer(1, 8.0)
+        fabric.heal_peer(1)
+        assert fabric.link_factor(1) == 1.0
+        fabric.batch_read_ms({1: (5, 4096)}, local_peer=0)
+        assert fabric.stats.degraded_reads == 0
+
+    def test_local_reads_never_degraded(self):
+        fabric = RdmaFabric()
+        fabric.degrade_peer(0, 4.0)
+        before = fabric.batch_read_ms({0: (5, 4096)}, local_peer=0)
+        assert fabric.stats.degraded_reads == 0
+        assert before >= 0.0
+
+    def test_rejects_speedup_factor(self):
+        with pytest.raises(ValueError):
+            RdmaFabric().degrade_peer(1, 0.9)

@@ -1,0 +1,173 @@
+"""Property test: any fully-healed fault schedule leaves consistent state.
+
+Hypothesis generates seeded :class:`FaultSchedule` instances in which
+every injected fault heals before the run's tail.  After the run,
+registry refcounts, node used-bytes counters and the indexed control
+plane's census must all match a from-scratch recount — the recovery
+machinery may reshuffle state, never corrupt its accounting (reuses the
+PR-2 equivalence discipline of recounting everything the indexes cache).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.policy import MedesPolicyConfig
+from repro.faults.schedule import (
+    FaultSchedule,
+    FaultsConfig,
+    LinkDegradation,
+    LinkPartition,
+    NodeCrash,
+    ShardOutage,
+)
+from repro.platform.config import ClusterConfig
+from repro.platform.platform import PlatformKind, build_platform
+from repro.sandbox.state import SandboxState
+from repro.workload.functionbench import FunctionBenchSuite
+from repro.workload.trace import Trace
+
+FUNCTIONS = ("Vanilla", "LinAlg")
+#: All faults are injected and healed inside the trace's active window,
+#: so by run end the cluster is whole again.
+FAULT_WINDOW_MS = (10_000.0, 80_000.0)
+
+times = st.floats(min_value=FAULT_WINDOW_MS[0], max_value=FAULT_WINDOW_MS[1] - 1.0)
+
+
+@st.composite
+def healed_schedules(draw):
+    crashes = []
+    if draw(st.booleans()):
+        at = draw(times)
+        heal = draw(st.floats(min_value=at + 1.0, max_value=FAULT_WINDOW_MS[1]))
+        crashes.append(
+            NodeCrash(at_ms=at, node_id=draw(st.integers(0, 1)), restart_at_ms=heal)
+        )
+    outages = []
+    if draw(st.booleans()):
+        at = draw(times)
+        heal = draw(st.floats(min_value=at + 1.0, max_value=FAULT_WINDOW_MS[1]))
+        outages.append(ShardOutage(at_ms=at, shard=0, heal_at_ms=heal))
+    degradations, partitions = [], []
+    link_kind = draw(st.sampled_from(["none", "degrade", "partition"]))
+    if link_kind != "none":
+        at = draw(times)
+        heal = draw(st.floats(min_value=at + 1.0, max_value=FAULT_WINDOW_MS[1]))
+        peer = draw(st.integers(0, 1))
+        if link_kind == "degrade":
+            degradations.append(
+                LinkDegradation(at_ms=at, peer=peer, heal_at_ms=heal, latency_factor=5.0)
+            )
+        else:
+            partitions.append(LinkPartition(at_ms=at, peer=peer, heal_at_ms=heal))
+    return FaultSchedule(
+        node_crashes=tuple(crashes),
+        shard_outages=tuple(outages),
+        link_degradations=tuple(degradations),
+        link_partitions=tuple(partitions),
+    )
+
+
+fault_configs = st.builds(
+    FaultsConfig,
+    schedule=healed_schedules(),
+    rpc_failure_prob=st.sampled_from([0.0, 0.1]),
+    seed=st.integers(0, 2**16),
+)
+
+ARRIVALS = [
+    (0.0, "Vanilla"),
+    (1.0, "Vanilla"),
+    (2.0, "LinAlg"),
+    (40_000.0, "Vanilla"),
+    (41_000.0, "LinAlg"),
+    (95_000.0, "Vanilla"),
+    (96_000.0, "LinAlg"),
+]
+
+
+def run_with(faults):
+    suite = FunctionBenchSuite.subset(list(FUNCTIONS))
+    config = ClusterConfig(
+        nodes=2,
+        node_memory_mb=256.0,
+        content_scale=1.0 / 256.0,
+        seed=5,
+        verify_restores=True,
+        faults=faults,
+    )
+    platform = build_platform(
+        PlatformKind.MEDES,
+        config,
+        suite,
+        medes=MedesPolicyConfig(idle_period_ms=5_000.0, alpha=25.0),
+    )
+    report = platform.run(Trace.from_arrivals(ARRIVALS))
+    return platform, report
+
+
+class TestHealedRunsAreConsistent:
+    @settings(max_examples=12, deadline=None)
+    @given(fault_configs)
+    def test_full_recount_matches(self, faults):
+        platform, report = run_with(faults)
+
+        # 1. Every request completed (no run aborts under faults).
+        assert len(report.metrics.requests) == len(ARRIVALS)
+        for record in report.metrics.requests.values():
+            assert record.completion_ms is not None
+
+        # 2. The cluster healed: every fault event has its heal twin.
+        health = platform.faults.health
+        assert not health.down_nodes
+        assert not health.down_shards
+        assert not health.degraded_links and not health.partitioned_links
+
+        # 3. Registry refcounts match a from-scratch recount over every
+        #    surviving dedup table.
+        expected: Counter[int] = Counter()
+        for node in platform.nodes:
+            for sandbox in node.sandboxes.values():
+                if sandbox.dedup_table is not None:
+                    expected.update(sandbox.dedup_table.base_refs)
+        for checkpoint in platform.store:
+            assert checkpoint.refcount == expected.get(checkpoint.checkpoint_id, 0)
+            assert checkpoint.refcount >= 0
+
+        # 4. Node used-bytes counters match the per-resident recount.
+        for node in platform.nodes:
+            recount = sum(s.memory_bytes() for s in node.sandboxes.values())
+            recount += sum(c.memory_bytes() for c in node.checkpoints.values())
+            assert node.used_bytes() == recount
+
+        # 5. The indexed control plane's census matches a full rescan.
+        controller = platform.controller
+        warm = dedup = total = 0
+        live_recount: Counter[str] = Counter()
+        dedup_recount: Counter[str] = Counter()
+        live_states = {
+            SandboxState.WARM,
+            SandboxState.RUNNING,
+            SandboxState.DEDUPING,
+            SandboxState.DEDUP,
+            SandboxState.RESTORING,
+        }
+        for node in platform.nodes:
+            for sandbox in node.sandboxes.values():
+                total += 1
+                if sandbox.state in (SandboxState.WARM, SandboxState.RUNNING):
+                    warm += 1
+                elif sandbox.state in (SandboxState.DEDUP, SandboxState.DEDUPING):
+                    dedup += 1
+                if sandbox.state in live_states:
+                    live_recount[sandbox.function] += 1
+                if sandbox.state in (SandboxState.DEDUP, SandboxState.DEDUPING):
+                    dedup_recount[sandbox.function] += 1
+        assert controller.sandbox_census() == (warm, dedup, total)
+        live_counts, dedup_counts = controller.live_counts()
+        assert {f: n for f, n in live_counts.items() if n} == dict(live_recount)
+        assert {f: n for f, n in dedup_counts.items() if n} == dict(dedup_recount)

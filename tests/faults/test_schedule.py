@@ -1,0 +1,96 @@
+"""FaultSchedule / FaultsConfig validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.schedule import (
+    FaultSchedule,
+    FaultsConfig,
+    LinkDegradation,
+    LinkPartition,
+    NodeCrash,
+    ShardOutage,
+)
+
+
+class TestEventValidation:
+    def test_restart_must_follow_crash(self):
+        with pytest.raises(ValueError):
+            NodeCrash(at_ms=100.0, node_id=0, restart_at_ms=100.0)
+
+    def test_heal_must_follow_outage(self):
+        with pytest.raises(ValueError):
+            ShardOutage(at_ms=50.0, shard=0, heal_at_ms=10.0)
+
+    def test_degradation_factor_at_least_one(self):
+        with pytest.raises(ValueError):
+            LinkDegradation(at_ms=0.0, peer=1, heal_at_ms=10.0, latency_factor=0.5)
+
+    def test_negative_times_rejected(self):
+        with pytest.raises(ValueError):
+            NodeCrash(at_ms=-1.0, node_id=0)
+        with pytest.raises(ValueError):
+            LinkPartition(at_ms=-1.0, peer=0, heal_at_ms=5.0)
+
+
+class TestScheduleValidation:
+    def test_empty_schedule(self):
+        assert FaultSchedule().empty
+        assert not FaultSchedule(node_crashes=(NodeCrash(1.0, 0),)).empty
+
+    def test_overlapping_crashes_same_node_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSchedule(
+                node_crashes=(
+                    NodeCrash(at_ms=0.0, node_id=1, restart_at_ms=100.0),
+                    NodeCrash(at_ms=50.0, node_id=1, restart_at_ms=200.0),
+                )
+            )
+
+    def test_crash_without_restart_blocks_later_crash(self):
+        with pytest.raises(ValueError):
+            FaultSchedule(
+                node_crashes=(
+                    NodeCrash(at_ms=0.0, node_id=1),
+                    NodeCrash(at_ms=500.0, node_id=1),
+                )
+            )
+
+    def test_disjoint_crashes_ok(self):
+        FaultSchedule(
+            node_crashes=(
+                NodeCrash(at_ms=0.0, node_id=1, restart_at_ms=100.0),
+                NodeCrash(at_ms=100.0, node_id=1, restart_at_ms=200.0),
+                NodeCrash(at_ms=0.0, node_id=2),
+            )
+        )
+
+    def test_degradation_and_partition_share_the_link_domain(self):
+        with pytest.raises(ValueError):
+            FaultSchedule(
+                link_degradations=(
+                    LinkDegradation(at_ms=0.0, peer=1, heal_at_ms=100.0),
+                ),
+                link_partitions=(LinkPartition(at_ms=50.0, peer=1, heal_at_ms=80.0),),
+            )
+
+    def test_overlapping_shard_outages_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSchedule(
+                shard_outages=(
+                    ShardOutage(at_ms=0.0, shard=0, heal_at_ms=100.0),
+                    ShardOutage(at_ms=10.0, shard=0, heal_at_ms=50.0),
+                )
+            )
+
+
+class TestFaultsConfig:
+    def test_defaults_inject_nothing(self):
+        config = FaultsConfig()
+        assert config.schedule.empty
+        assert config.rpc_failure_prob == 0.0
+
+    def test_rejects_certain_failure(self):
+        with pytest.raises(ValueError):
+            FaultsConfig(rpc_failure_prob=1.0)
