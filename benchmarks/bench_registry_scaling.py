@@ -1,0 +1,103 @@
+"""Fingerprint-registry scaling micro-benchmark (paper Section 4.3).
+
+Measures how the fingerprint registry behaves as the cluster grows:
+lookup latency versus registry population, shard load balance, and the
+single-digest routing property that makes key partitioning safe.
+
+(Moved here from ``bench_scalability.py``, which now holds the
+full-platform cluster-scale replay curve.)
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.analysis.tables import render_table
+from repro.core.registry import FingerprintRegistry, PageRef, ShardedFingerprintRegistry
+from repro.memory.fingerprint import page_fingerprint
+from repro.workload.functionbench import FunctionBenchSuite
+
+SCALE = 1.0 / 64.0
+
+
+def _populate(registry, base_count: int):
+    """Register `base_count` base sandboxes' pages; returns query set."""
+    suite = FunctionBenchSuite.default()
+    queries = []
+    for index in range(base_count):
+        profile = suite.profiles[index % len(suite)]
+        image = profile.synthesize(
+            9_000 + index, content_scale=SCALE, executed=True
+        )
+        for page_index in range(image.num_pages):
+            fingerprint = page_fingerprint(image.page(page_index))
+            registry.register_page(
+                PageRef(index + 1, index % 8, page_index), fingerprint
+            )
+            if page_index % 11 == 0 and fingerprint.digests:
+                queries.append(fingerprint)
+    return queries
+
+
+@pytest.fixture(scope="module")
+def scaling_data():
+    rows = []
+    measurements = {}
+    for base_count in (2, 8, 24):
+        registry = FingerprintRegistry()
+        queries = _populate(registry, base_count)
+        start = time.perf_counter()
+        hits = sum(
+            1 for q in queries if registry.choose_base_page(q, 0) is not None
+        )
+        elapsed_us = (time.perf_counter() - start) / max(1, len(queries)) * 1e6
+        measurements[base_count] = (elapsed_us, hits / max(1, len(queries)))
+        rows.append(
+            (
+                base_count,
+                registry.digest_count,
+                f"{registry.memory_bytes() / 1024:.0f}KB",
+                f"{elapsed_us:.1f}",
+                f"{hits / max(1, len(queries)) * 100:.0f}%",
+            )
+        )
+    text = render_table(
+        ["base sandboxes", "digests", "registry size", "lookup us", "hit rate"],
+        rows,
+        title="Sec 4.3: registry scaling with base-sandbox population",
+    )
+    write_result("scalability_registry", text)
+    return measurements
+
+
+def test_registry_lookup_stays_flat(benchmark, scaling_data):
+    """Hash-table lookups stay near-constant as the registry grows —
+    the property that lets the paper claim per-page lookups scale."""
+    small_us, _ = scaling_data[2]
+    large_us, large_hit_rate = scaling_data[24]
+    # 12x more bases must not make lookups an order of magnitude slower.
+    assert large_us < max(small_us, 5.0) * 8
+    assert large_hit_rate > 0.9
+
+    registry = FingerprintRegistry()
+    queries = _populate(registry, 4)
+
+    def lookup_all():
+        return sum(1 for q in queries if registry.choose_base_page(q, 0) is not None)
+
+    hits = benchmark(lookup_all)
+    assert hits > 0
+
+
+def test_sharding_divides_load(benchmark):
+    """Shards see roughly even digest load (key partitioning works)."""
+    sharded = ShardedFingerprintRegistry(8)
+    _populate(sharded, 8)
+    assert sharded.load_imbalance() < 1.25
+    per_shard = [shard.digest_count for shard in sharded.shards]
+    assert min(per_shard) > 0
+
+    benchmark(sharded.load_imbalance)

@@ -132,10 +132,15 @@ def round_up(value: int, multiple: int) -> int:
 def percentile(values: Iterable[float], pct: float) -> float:
     """Percentile (0..100) of ``values`` using linear interpolation.
 
-    Returns ``nan`` for an empty input rather than raising, which keeps
-    report rendering robust for functions that received no requests.
+    Accepts numpy arrays without copying (the array-backed timelines
+    pass column views directly).  Returns ``nan`` for an empty input
+    rather than raising, which keeps report rendering robust for
+    functions that received no requests.
     """
-    arr = np.asarray(list(values), dtype=np.float64)
+    if isinstance(values, np.ndarray):
+        arr = values.astype(np.float64, copy=False)
+    else:
+        arr = np.asarray(list(values), dtype=np.float64)
     if arr.size == 0:
         return float("nan")
     return float(np.percentile(arr, pct))

@@ -236,6 +236,15 @@ class ClusterController:
             ),
         )
 
+    @property
+    def cold_parked_tables(self) -> int:
+        """Dedup sandboxes whose patch table is parked on SSD (tiering).
+
+        Public read for observability (the platform's tier sampler);
+        keeps callers off the controller's private LRU structures.
+        """
+        return len(self._cold)
+
     def sandbox_census(self) -> tuple[int, int, int]:
         """(warm-ish, dedup, total) sandbox counts for memory sampling."""
         if self.indexed:

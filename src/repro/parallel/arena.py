@@ -91,7 +91,7 @@ def attach_segment(name: str, *, forked: bool):
         try:
             from multiprocessing import resource_tracker
 
-            resource_tracker.unregister(shm._name, "shared_memory")
+            resource_tracker.unregister(shm._name, "shared_memory")  # noqa: SLF001 — stdlib workaround
         except Exception:
             pass
     return shm

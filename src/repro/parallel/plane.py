@@ -230,7 +230,7 @@ class DataPlane:
                 if slot is None:
                     slot = len(slot_of)
                     slot_of[key] = slot
-                    page = agent._base_page_bytes(
+                    page = agent._base_page_bytes(  # noqa: SLF001 — plane is the agent's data-plane half
                         agent.store.get(checkpoint_id), ref.page_index
                     )
                     start = bases_off + slot * page_size
@@ -278,7 +278,7 @@ class DataPlane:
                 on_patches(result[1], result[2])
 
         assert all(entry is not None for entry in entries)
-        return agent._finish_dedup(
+        return agent._finish_dedup(  # noqa: SLF001 — plane is the agent's data-plane half
             sandbox,
             image,
             entries,  # type: ignore[arg-type]
@@ -326,7 +326,7 @@ class DataPlane:
         for slot, key in enumerate(slot_of):
             slot_of[key] = slot
             checkpoint = agent.store.get(key[0])
-            page = agent._base_page_bytes(checkpoint, key[1])
+            page = agent._base_page_bytes(checkpoint, key[1])  # noqa: SLF001
             start = bases_off + slot * page_size
             view[start : start + page_size] = np.frombuffer(page, np.uint8)
 

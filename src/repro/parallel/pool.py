@@ -254,5 +254,5 @@ class WorkerPool:
         for q in (self.tasks, self.results):
             q.cancel_join_thread()
             q.close()
-        if WorkerPool._shared.get(self.workers) is self:
-            WorkerPool._shared.pop(self.workers)
+        if WorkerPool._shared.get(self.workers) is self:  # noqa: SLF001 — own class
+            WorkerPool._shared.pop(self.workers)  # noqa: SLF001 — own class

@@ -82,6 +82,18 @@ class ClusterConfig:
     verify_accounting: bool = False
     """Debug: assert every node's cached used-bytes counter against the
     recomputed per-resident sum on every read (slow; tests enable it)."""
+    streamed_arrivals: bool = True
+    """Inject trace arrivals chunk by chunk through
+    :meth:`~repro.sim.engine.Simulator.schedule_stream` instead of
+    pre-scheduling every request as its own heap entry before the run
+    starts, keeping resident arrival state O(chunk) instead of O(trace).
+    Bit-identical to eager pre-scheduling (the stream reserves the whole
+    trace's event sequence numbers up front); off reproduces the
+    pre-change eager path, kept for the streaming equivalence tests."""
+    arrival_chunk: int = 4096
+    """Resident window of streamed arrival injection: how many upcoming
+    trace arrivals are scheduled on the event heap at once (only read
+    when ``streamed_arrivals`` is on)."""
     checkpoint_tiering: bool = False
     """Tiered checkpoint storage (DESIGN.md §9): under pressure, demote
     base checkpoints to remote DRAM / local SSD and park expired dedup
@@ -123,6 +135,8 @@ class ClusterConfig:
             raise ValueError("base_threshold must be positive")
         if self.registry_shards <= 0:
             raise ValueError("registry_shards must be positive")
+        if self.arrival_chunk <= 0:
+            raise ValueError("arrival_chunk must be positive")
 
     @property
     def node_capacity_bytes(self) -> int:

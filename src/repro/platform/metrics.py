@@ -11,7 +11,10 @@ from __future__ import annotations
 
 import enum
 from collections import Counter, defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
+from typing import Iterator
+
+import numpy as np
 
 from repro._util import percentile
 
@@ -24,9 +27,11 @@ class StartType(enum.Enum):
     DEDUP = "dedup"
 
 
-@dataclass
+@dataclass(slots=True)
 class RequestRecord:
-    """Lifecycle of one request through the platform."""
+    """Lifecycle of one request through the platform.
+
+    Slotted: cluster-scale replays keep millions of these resident."""
 
     request_id: int
     function: str
@@ -147,7 +152,7 @@ class RestoreOpRecord:
         return fetch + self.restore_ms + self.promote_ms + self.retry_ms
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MemorySample:
     """Cluster memory usage at one sampling instant."""
 
@@ -173,7 +178,7 @@ class TierOpRecord:
     cost_ms: float
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TierSample:
     """Occupancy of the non-DRAM tiers at one sampling instant."""
 
@@ -182,6 +187,98 @@ class TierSample:
     ssd_bytes: int
     cold_tables: int
     """Dedup sandboxes whose patch table is parked on SSD."""
+
+
+class ColumnTimeline:
+    """A growable numpy column store behind a list-of-samples API.
+
+    Cluster-scale replays sample the memory/tier timelines millions of
+    times; one Python object per sample does not survive that.  Samples
+    are stored as per-field numpy columns (float64 for ``float`` fields,
+    int64 for ``int`` fields) with amortized-doubling growth, while the
+    exterior API stays the familiar list of frozen sample dataclasses:
+    ``append`` takes a sample object, iteration/indexing yield sample
+    objects, and equality works against both other timelines and plain
+    lists of samples — so existing tests and reports are unchanged.
+
+    Vectorized readers use :meth:`column` to get a numpy view of one
+    field across every sample without materializing any objects.
+    """
+
+    __slots__ = ("_sample_type", "_names", "_columns", "_size")
+
+    def __init__(self, sample_type: type, samples: Iterator | None = None):
+        self._sample_type = sample_type
+        self._names: tuple[str, ...] = ()
+        self._columns: list[np.ndarray] = []
+        for spec in fields(sample_type):
+            dtype = np.float64 if spec.type in ("float", float) else np.int64
+            self._names += (spec.name,)
+            self._columns.append(np.empty(0, dtype=dtype))
+        self._size = 0
+        for sample in samples or ():
+            self.append(sample)
+
+    def _grow(self, needed: int) -> None:
+        capacity = max(64, 2 * needed)
+        for index, column in enumerate(self._columns):
+            grown = np.empty(capacity, dtype=column.dtype)
+            grown[: self._size] = column[: self._size]
+            self._columns[index] = grown
+
+    def append(self, sample) -> None:
+        """Append one sample object (dataclass of the store's type)."""
+        self.append_row(*(getattr(sample, name) for name in self._names))
+
+    def append_row(self, *values) -> None:
+        """Fast path: append one sample from positional field values."""
+        size = self._size
+        if size >= len(self._columns[0]):
+            self._grow(size + 1)
+        for column, value in zip(self._columns, values):
+            column[size] = value
+        self._size = size + 1
+
+    def column(self, name: str) -> np.ndarray:
+        """Numpy view of one field across all samples (no copies)."""
+        return self._columns[self._names.index(name)][: self._size]
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __iter__(self):
+        sample_type = self._sample_type
+        columns = [column[: self._size].tolist() for column in self._columns]
+        for row in zip(*columns):
+            yield sample_type(*row)
+
+    def __getitem__(self, index: int):
+        if not -self._size <= index < self._size:
+            raise IndexError(f"sample index {index} out of range ({self._size})")
+        if index < 0:
+            index += self._size
+        return self._sample_type(
+            *(column[index].item() for column in self._columns)
+        )
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, ColumnTimeline):
+            return (
+                self._sample_type is other._sample_type
+                and self._size == other._size
+                and all(
+                    np.array_equal(a[: self._size], b[: other._size])
+                    for a, b in zip(self._columns, other._columns)
+                )
+            )
+        if isinstance(other, (list, tuple)):
+            return len(other) == self._size and all(
+                ours == theirs for ours, theirs in zip(self, other)
+            )
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"ColumnTimeline({self._sample_type.__name__}, n={self._size})"
 
 
 @dataclass(frozen=True)
@@ -224,14 +321,19 @@ class RunMetrics:
     dedup_ops: list[DedupOpRecord] = field(default_factory=list)
     restore_ops: list[RestoreOpRecord] = field(default_factory=list)
     base_ops: list[BaseOpRecord] = field(default_factory=list)
-    memory_timeline: list[MemorySample] = field(default_factory=list)
+    memory_timeline: ColumnTimeline = field(
+        default_factory=lambda: ColumnTimeline(MemorySample)
+    )
+    """Sampled cluster memory usage, array-backed (list-of-sample API)."""
     evictions: int = 0
     prewarm_spawns: int = 0
     sandboxes_created: int = 0
     bases_created: int = 0
     tier_ops: list[TierOpRecord] = field(default_factory=list)
     """Charged demotions/promotions (empty unless checkpoint tiering)."""
-    tier_timeline: list[TierSample] = field(default_factory=list)
+    tier_timeline: ColumnTimeline = field(
+        default_factory=lambda: ColumnTimeline(TierSample)
+    )
     """Sampled non-DRAM tier occupancy (empty unless checkpoint tiering)."""
     checkpoint_demotions: int = 0
     checkpoint_promotions: int = 0
@@ -342,17 +444,24 @@ class RunMetrics:
         return percentile(values, pct)
 
     def mean_memory_bytes(self) -> float:
-        if not self.memory_timeline:
+        timeline = self.memory_timeline
+        if not timeline:
             return 0.0
-        return sum(s.used_bytes for s in self.memory_timeline) / len(self.memory_timeline)
+        # Exact int64 sum, matching the former Python big-int sum/len.
+        return int(timeline.column("used_bytes").sum()) / len(timeline)
 
     def median_memory_bytes(self) -> float:
-        return percentile([s.used_bytes for s in self.memory_timeline], 50)
+        return percentile(self.memory_timeline.column("used_bytes"), 50)
+
+    def memory_percentile(self, pct: float) -> float:
+        """Percentile of sampled cluster memory usage (vectorized)."""
+        return percentile(self.memory_timeline.column("used_bytes"), pct)
 
     def mean_sandbox_count(self) -> float:
-        if not self.memory_timeline:
+        timeline = self.memory_timeline
+        if not timeline:
             return 0.0
-        return sum(s.total_sandboxes for s in self.memory_timeline) / len(self.memory_timeline)
+        return int(timeline.column("total_sandboxes").sum()) / len(timeline)
 
     def dedup_share(self) -> float:
         """Fraction of created sandboxes that were ever deduplicated."""
@@ -367,14 +476,18 @@ class RunMetrics:
         Pairs each fault with its heal per failure domain; faults never
         healed within the run are excluded.  For shard outages the heal
         event fires only after the charged rebuild, so MTTR includes
-        rebuild time.
+        rebuild time.  When several unhealed faults on one domain map to
+        the same heal kind (e.g. ``link-degraded`` then
+        ``link-partitioned``, both healed by ``link-restored``), recovery
+        is measured from the *earliest* open fault — a later fault on an
+        already-faulty domain must not shrink the outage.
         """
         open_faults: dict[tuple[str, str], float] = {}
         durations: list[float] = []
         for event in self.fault_events:
             heal_kind = _HEAL_KIND.get(event.kind)
             if heal_kind is not None:
-                open_faults[(heal_kind, event.domain)] = event.time_ms
+                open_faults.setdefault((heal_kind, event.domain), event.time_ms)
             else:
                 started = open_faults.pop((event.kind, event.domain), None)
                 if started is not None:

@@ -22,7 +22,7 @@ from repro.faults.health import FaultDomainHealth, FaultRuntime
 from repro.faults.injector import FaultInjector
 from repro.faults.retry import TransientFaults
 from repro.platform.config import ClusterConfig, ColdStartMode
-from repro.platform.metrics import MemorySample, RunMetrics, TierSample
+from repro.platform.metrics import RunMetrics
 from repro.sandbox.checkpoint import CheckpointStore
 from repro.sandbox.node import Node
 from repro.sim.engine import Simulator
@@ -223,25 +223,41 @@ class Platform:
 
     def _sample_memory(self) -> None:
         warm, dedup, total = self.controller.sandbox_census()
-        self.metrics.memory_timeline.append(
-            MemorySample(
-                time_ms=self.sim.now,
-                used_bytes=self.controller.used_bytes(),
-                warm_count=warm,
-                dedup_count=dedup,
-                total_sandboxes=total,
-            )
+        # append_row: the sampler runs on every tick of cluster-scale
+        # replays; skip the per-sample object construction.
+        self.metrics.memory_timeline.append_row(
+            self.sim.now, self.controller.used_bytes(), warm, dedup, total
         )
         if isinstance(self.store, TieredCheckpointStore):
             occupancy = self.store.tier_used_bytes()
-            self.metrics.tier_timeline.append(
-                TierSample(
-                    time_ms=self.sim.now,
-                    remote_dram_bytes=occupancy[StorageTier.REMOTE_DRAM],
-                    ssd_bytes=occupancy[StorageTier.LOCAL_SSD],
-                    cold_tables=len(self.controller._cold),
-                )
+            self.metrics.tier_timeline.append_row(
+                self.sim.now,
+                occupancy[StorageTier.REMOTE_DRAM],
+                occupancy[StorageTier.LOCAL_SSD],
+                self.controller.cold_parked_tables,
             )
+
+    def _inject_arrivals(self, trace: Trace) -> None:
+        """Schedule the trace's arrivals on the simulator.
+
+        Streamed mode (the default) keeps only ``config.arrival_chunk``
+        upcoming arrivals on the heap via ``Simulator.schedule_stream``;
+        the eager mode pre-schedules every request up front and is kept
+        as the reference the streaming equivalence tests pin against.
+        """
+        requests = trace.requests
+        if self.config.streamed_arrivals:
+            submit = self.controller.submit
+            self.sim.schedule_stream(
+                [request.arrival_ms for request in requests],
+                lambda i: lambda request=requests[i]: submit(request),
+                chunk_size=self.config.arrival_chunk,
+            )
+        else:
+            for request in requests:
+                self.sim.at(
+                    request.arrival_ms, lambda r=request: self.controller.submit(r)
+                )
 
     def run(self, trace: Trace, *, tail_ms: float = RUN_TAIL_MS) -> RunReport:
         """Replay ``trace`` to completion and collect metrics.
@@ -252,21 +268,23 @@ class Platform:
         """
         if self.injector is not None:
             self.injector.arm()
-        for request in trace:
-            self.sim.at(request.arrival_ms, lambda r=request: self.controller.submit(r))
-        self.sim.every(self.config.memory_sample_interval_ms, self._sample_memory)
+        self._inject_arrivals(trace)
+        sampler = self.sim.every(
+            self.config.memory_sample_interval_ms, self._sample_memory
+        )
 
         end = trace.duration_ms + tail_ms
         self.sim.run_until(end)
-        # Let any in-flight requests (queued under pressure) drain.
-        if self.config.indexed_control_plane:
-            def undrained() -> bool:
-                return self.metrics.outstanding_requests > 0
-        else:
-            def undrained() -> bool:
-                return any(r.completion_ms is None for r in self.metrics.requests.values())
+        # The trace (plus its quiet tail) is over: stop the sampler so
+        # drain-guard extensions below don't append quiet-period samples
+        # that drag down mean_memory_bytes.
+        sampler.cancel()
+        # Let any in-flight requests (queued under pressure) drain.  The
+        # outstanding counter is maintained by RunMetrics in both
+        # control-plane modes, so each guard check is O(1) instead of a
+        # rescan of every request record.
         guard = 0
-        while undrained():
+        while self.metrics.outstanding_requests > 0:
             end += RUN_TAIL_MS
             guard += 1
             self.sim.run_until(end)

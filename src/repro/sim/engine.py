@@ -6,36 +6,63 @@ cancelled (lazily — cancelled entries are skipped on pop).  All of the
 cluster — request arrivals, sandbox lifecycles, keep-alive expiries,
 dedup/restore completions — runs on one :class:`Simulator`.
 
+The loop is built to survive cluster-scale replays (millions of events):
+
+* **Batched dispatch** — :meth:`Simulator.run` and
+  :meth:`Simulator.run_until` pop and dispatch events in one tight loop
+  with locally-bound heap operations, touching ``now`` only when the
+  timestamp actually advances and flushing the processed-event counter
+  once per drain instead of once per event.
+* **Heap compaction** — cancelled entries are dropped lazily on pop, but
+  when they come to dominate a large heap the whole heap is compacted in
+  place, so long runs with heavy timer churn (idle/keep-alive timers
+  cancelled by dispatch) don't accumulate garbage.
+* **Streamed scheduling** — :meth:`Simulator.schedule_stream` schedules a
+  large time-sorted sequence of callbacks while keeping only a small
+  window of entries resident, *bit-identical* to scheduling them all up
+  front: the sequence numbers for the whole stream are reserved at call
+  time, so every entry gets exactly the (time, seq) pair eager
+  scheduling would have given it, and same-time ties against unrelated
+  events resolve identically.
+
 Times are floating-point **milliseconds** throughout the reproduction.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Sequence
 
 
 class SimulationError(RuntimeError):
     """Raised for inconsistent use of the simulator (e.g. past scheduling)."""
 
 
-@dataclass(order=True)
+@dataclass(slots=True)
 class _Entry:
     time: float
     seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    callback: Callable[[], None]
+    cancelled: bool = False
+
+    def __lt__(self, other: "_Entry") -> bool:
+        # Hand-rolled (time, seq) ordering: the dataclass-generated
+        # comparison builds two tuples per heap sift step, which is
+        # measurable across millions of heap operations.
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
 
 
 class Timer:
     """Handle to a scheduled event; supports cancellation."""
 
-    __slots__ = ("_entry",)
+    __slots__ = ("_entry", "_sim")
 
-    def __init__(self, entry: _Entry):
+    def __init__(self, entry: _Entry, sim: "Simulator"):
         self._entry = entry
+        self._sim = sim
 
     @property
     def time(self) -> float:
@@ -52,12 +79,35 @@ class Timer:
         return not self._entry.cancelled and self._entry.callback is not _fired
 
     def cancel(self) -> None:
-        """Cancel the event; a no-op if it already fired."""
-        self._entry.cancelled = True
+        """Cancel the event; a no-op if it already fired.
+
+        The flag is still set on a fired entry — :meth:`Simulator.every`
+        reads it to stop a series cancelled from its own callback — but
+        only entries actually occupying a heap slot count toward the
+        simulator's cancelled-entry bookkeeping.
+        """
+        entry = self._entry
+        if entry.cancelled:
+            return
+        still_queued = entry.callback is not _fired
+        entry.cancelled = True
+        if still_queued:
+            self._sim._note_cancelled()
 
 
 def _fired() -> None:  # sentinel marking consumed entries
     raise AssertionError("fired sentinel must never be called")
+
+
+#: Compact the heap only once this many cancelled entries accumulated
+#: (small heaps aren't worth rebuilding) ...
+_COMPACT_MIN_CANCELLED = 512
+#: ... and only when cancelled entries are at least this fraction of it.
+_COMPACT_FRACTION = 0.5
+
+#: Default window of a :meth:`Simulator.schedule_stream` call: how many
+#: entries of the stream are resident on the heap at once.
+STREAM_CHUNK = 4096
 
 
 class Simulator:
@@ -66,8 +116,9 @@ class Simulator:
     def __init__(self, start_time: float = 0.0):
         self._now = float(start_time)
         self._heap: list[_Entry] = []
-        self._seq = itertools.count()
+        self._next_seq = 0
         self._events_processed = 0
+        self._cancelled = 0
 
     @property
     def now(self) -> float:
@@ -81,16 +132,47 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Events still queued (including lazily-cancelled ones)."""
-        return len(self._heap)
+        """Live events still queued (lazily-cancelled entries excluded)."""
+        return len(self._heap) - self._cancelled
+
+    @property
+    def cancelled_events(self) -> int:
+        """Cancelled entries still occupying heap slots (awaiting lazy
+        drop on pop, or the next compaction)."""
+        return self._cancelled
+
+    # --------------------------------------------------------- bookkeeping
+
+    def _note_cancelled(self) -> None:
+        self._cancelled += 1
+        if (
+            self._cancelled >= _COMPACT_MIN_CANCELLED
+            and self._cancelled >= _COMPACT_FRACTION * len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify, in place.
+
+        In place (slice assignment) so the locally-bound heap lists in
+        the dispatch loops stay valid even when a callback's cancels
+        trigger compaction mid-drain.
+        """
+        self._heap[:] = [entry for entry in self._heap if not entry.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
+
+    # ---------------------------------------------------------- scheduling
 
     def at(self, time: float, callback: Callable[[], None]) -> Timer:
         """Schedule ``callback`` at absolute time ``time`` (>= now)."""
         if time < self._now - 1e-9:
             raise SimulationError(f"cannot schedule at {time} < now {self._now}")
-        entry = _Entry(time=max(time, self._now), seq=next(self._seq), callback=callback)
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        entry = _Entry(time=max(time, self._now), seq=seq, callback=callback)
         heapq.heappush(self._heap, entry)
-        return Timer(entry)
+        return Timer(entry, self)
 
     def after(self, delay: float, callback: Callable[[], None]) -> Timer:
         """Schedule ``callback`` after ``delay`` ms."""
@@ -110,20 +192,81 @@ class Simulator:
 
         def tick() -> None:
             callback()
-            if holder["timer"]._entry.cancelled:
+            timer = holder["timer"]
+            if timer._entry.cancelled:  # noqa: SLF001 — Timer's own module
                 # The callback cancelled its own series; the fired entry
                 # carries the flag, so honour it instead of re-arming.
                 return
-            holder["timer"]._entry = self.after(interval, tick)._entry
+            timer._entry = self.after(interval, tick)._entry  # noqa: SLF001
 
         holder["timer"] = self.after(interval, tick)
         return holder["timer"]
 
+    def schedule_stream(
+        self,
+        times: Sequence[float],
+        make_callback: Callable[[int], Callable[[], None]],
+        *,
+        chunk_size: int = STREAM_CHUNK,
+    ) -> int:
+        """Schedule ``make_callback(i)`` at ``times[i]`` for every ``i``,
+        keeping only ~``chunk_size`` entries of the stream resident.
+
+        ``times`` must be sorted non-decreasing with ``times[0] >= now``.
+        The whole stream's sequence numbers are reserved immediately:
+        entry ``i`` is created with the exact (time, seq) pair that
+        ``self.at(times[i], make_callback(i))`` called up front — before
+        any later scheduling — would have produced, so the replay is
+        bit-identical to eager scheduling while resident heap state stays
+        O(chunk) instead of O(len(times)).  Entries materialize chunk by
+        chunk: the last entry of each chunk pushes the next one after its
+        own callback runs.  Stream entries expose no :class:`Timer` and
+        cannot be cancelled.  Returns the number of scheduled callbacks.
+        """
+        count = len(times)
+        if chunk_size <= 0:
+            raise SimulationError(f"non-positive chunk_size {chunk_size}")
+        if count == 0:
+            return 0
+        base = self._next_seq
+        self._next_seq = base + count
+        heap = self._heap
+        heappush = heapq.heappush
+
+        def push_chunk(start: int) -> None:
+            stop = min(start + chunk_size, count)
+            floor = self._now
+            for i in range(start, stop):
+                time = times[i]
+                if time < floor - 1e-9:
+                    raise SimulationError(
+                        f"stream time {time} at index {i} below {floor} (unsorted?)"
+                    )
+                floor = time = max(time, floor)
+                callback = make_callback(i)
+                if i == stop - 1 and stop < count:
+                    callback = _chained(callback, push_chunk, stop)
+                heappush(heap, _Entry(time=time, seq=base + i, callback=callback))
+
+        def _chained(callback, refill, next_start):
+            def run_and_refill() -> None:
+                callback()
+                refill(next_start)
+
+            return run_and_refill
+
+        push_chunk(0)
+        return count
+
+    # ----------------------------------------------------------- dispatch
+
     def step(self) -> bool:
         """Run the next pending event.  Returns False when queue is empty."""
-        while self._heap:
-            entry = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            entry = heapq.heappop(heap)
             if entry.cancelled:
+                self._cancelled -= 1
                 continue
             self._now = entry.time
             callback = entry.callback
@@ -135,20 +278,63 @@ class Simulator:
 
     def run_until(self, end_time: float) -> None:
         """Run all events with ``time <= end_time`` and advance the clock."""
-        while self._heap:
-            head = self._heap[0]
-            if head.cancelled:
-                heapq.heappop(self._heap)
-                continue
-            if head.time > end_time:
-                break
-            self.step()
+        heap = self._heap
+        heappop = heapq.heappop
+        processed = 0
+        try:
+            while heap:
+                entry = heap[0]
+                if entry.time > end_time:
+                    break
+                heappop(heap)
+                if entry.cancelled:
+                    self._cancelled -= 1
+                    continue
+                if entry.time != self._now:
+                    self._now = entry.time
+                callback = entry.callback
+                entry.callback = _fired
+                processed += 1
+                callback()
+        finally:
+            self._events_processed += processed
         self._now = max(self._now, end_time)
 
     def run(self, max_events: int | None = None) -> None:
-        """Run until the queue drains (or ``max_events`` callbacks ran)."""
+        """Run until the queue drains (or ``max_events`` callbacks ran).
+
+        Lazily-cancelled entries never count against the budget; if the
+        budget runs out with only cancelled entries left, they are
+        discarded and the run completes instead of raising.
+        """
         remaining = max_events if max_events is not None else float("inf")
-        while remaining > 0 and self.step():
-            remaining -= 1
-        if remaining <= 0 and self._heap:
-            raise SimulationError(f"event budget exhausted with {len(self._heap)} pending")
+        heap = self._heap
+        heappop = heapq.heappop
+        processed = 0
+        try:
+            while heap and remaining > 0:
+                entry = heappop(heap)
+                if entry.cancelled:
+                    self._cancelled -= 1
+                    continue
+                if entry.time != self._now:
+                    self._now = entry.time
+                callback = entry.callback
+                entry.callback = _fired
+                processed += 1
+                remaining -= 1
+                callback()
+        finally:
+            self._events_processed += processed
+        if heap and remaining <= 0:
+            while heap and heap[0].cancelled:
+                heappop(heap)
+                self._cancelled -= 1
+            live = len(heap) - self._cancelled
+            if live > 0:
+                raise SimulationError(
+                    f"event budget exhausted with {live} live events pending"
+                    f" ({self._cancelled} cancelled)"
+                )
+            heap.clear()
+            self._cancelled = 0

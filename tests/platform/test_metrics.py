@@ -6,11 +6,16 @@ import math
 
 import pytest
 
+import numpy as np
+
 from repro.platform.metrics import (
+    ColumnTimeline,
+    FaultEventRecord,
     MemorySample,
     RequestRecord,
     RunMetrics,
     StartType,
+    TierSample,
     improvement_factors,
 )
 
@@ -116,6 +121,135 @@ class TestMemoryTimeline:
     def test_empty_timeline(self):
         metrics = RunMetrics(platform_name="test")
         assert metrics.mean_memory_bytes() == 0.0
+
+
+def _sample(i: int, used: int = 100) -> MemorySample:
+    return MemorySample(
+        time_ms=float(i),
+        used_bytes=used,
+        warm_count=i,
+        dedup_count=0,
+        total_sandboxes=i,
+    )
+
+
+class TestColumnTimeline:
+    """The array-backed timeline keeps the list-of-samples API."""
+
+    def test_append_iterate_getitem(self):
+        timeline = ColumnTimeline(MemorySample)
+        samples = [_sample(i, used=100 * (i + 1)) for i in range(5)]
+        for sample in samples:
+            timeline.append(sample)
+        assert len(timeline) == 5
+        assert list(timeline) == samples
+        assert timeline[0] == samples[0]
+        assert timeline[-1] == samples[-1]
+        assert timeline[2] == samples[2]
+        with pytest.raises(IndexError):
+            timeline[5]
+        with pytest.raises(IndexError):
+            timeline[-6]
+
+    def test_append_row_matches_append(self):
+        by_object = ColumnTimeline(MemorySample)
+        by_row = ColumnTimeline(MemorySample)
+        for i in range(3):
+            sample = _sample(i)
+            by_object.append(sample)
+            by_row.append_row(
+                sample.time_ms,
+                sample.used_bytes,
+                sample.warm_count,
+                sample.dedup_count,
+                sample.total_sandboxes,
+            )
+        assert by_object == by_row
+
+    def test_equality_against_lists(self):
+        timeline = ColumnTimeline(MemorySample)
+        samples = [_sample(i) for i in range(3)]
+        for sample in samples:
+            timeline.append(sample)
+        assert timeline == samples
+        assert timeline == tuple(samples)
+        assert not timeline == samples[:2]
+        assert not timeline == [*samples[:2], _sample(99)]
+
+    def test_equality_between_timelines(self):
+        a, b = ColumnTimeline(MemorySample), ColumnTimeline(MemorySample)
+        a.append(_sample(1))
+        b.append(_sample(1))
+        assert a == b
+        b.append(_sample(2))
+        assert a != b
+        assert ColumnTimeline(MemorySample) != ColumnTimeline(TierSample)
+
+    def test_column_views_and_dtypes(self):
+        timeline = ColumnTimeline(MemorySample)
+        for i in range(3):
+            timeline.append(_sample(i, used=10**9 + i))
+        used = timeline.column("used_bytes")
+        assert used.dtype == np.int64
+        assert timeline.column("time_ms").dtype == np.float64
+        assert used.tolist() == [10**9, 10**9 + 1, 10**9 + 2]
+        assert len(used) == 3  # view excludes unused capacity
+
+    def test_growth_past_initial_capacity(self):
+        timeline = ColumnTimeline(MemorySample)
+        for i in range(1000):
+            timeline.append_row(float(i), i, 0, 0, 0)
+        assert len(timeline) == 1000
+        assert timeline[999].used_bytes == 999
+        assert timeline.column("used_bytes").sum() == 999 * 1000 // 2
+
+    def test_construct_from_samples(self):
+        samples = [_sample(i) for i in range(4)]
+        timeline = ColumnTimeline(MemorySample, iter(samples))
+        assert timeline == samples
+
+    def test_percentile_parity_with_lists(self):
+        metrics = RunMetrics(platform_name="test")
+        values = [300, 100, 500, 200, 400]
+        for i, used in enumerate(values):
+            metrics.memory_timeline.append(_sample(i, used=used))
+        from repro._util import percentile
+
+        for pct in (0, 25, 50, 90, 100):
+            assert metrics.memory_percentile(pct) == percentile(values, pct)
+        assert metrics.median_memory_bytes() == percentile(values, 50)
+
+
+class TestMttr:
+    def test_overlapping_faults_measure_from_earliest(self):
+        """Regression: two unhealed faults on one domain that map to the
+        same heal kind (link-degraded then link-partitioned, both healed
+        by link-restored) used to overwrite the open-fault start, so the
+        escalation *shrank* the reported outage."""
+        metrics = RunMetrics(platform_name="test")
+        metrics.fault_events += [
+            FaultEventRecord(time_ms=1_000.0, kind="link-degraded", domain="link:0"),
+            FaultEventRecord(time_ms=9_000.0, kind="link-partitioned", domain="link:0"),
+            FaultEventRecord(time_ms=21_000.0, kind="link-restored", domain="link:0"),
+        ]
+        assert metrics.mttr_ms() == pytest.approx(20_000.0)
+
+    def test_domains_do_not_interfere(self):
+        metrics = RunMetrics(platform_name="test")
+        metrics.fault_events += [
+            FaultEventRecord(time_ms=0.0, kind="node-crash", domain="node:0"),
+            FaultEventRecord(time_ms=5_000.0, kind="node-crash", domain="node:1"),
+            FaultEventRecord(time_ms=10_000.0, kind="node-restored", domain="node:0"),
+            FaultEventRecord(time_ms=6_000.0, kind="node-restored", domain="node:1"),
+        ]
+        assert metrics.mttr_ms() == pytest.approx((10_000.0 + 1_000.0) / 2)
+
+    def test_unhealed_faults_excluded(self):
+        metrics = RunMetrics(platform_name="test")
+        metrics.fault_events.append(
+            FaultEventRecord(time_ms=0.0, kind="node-crash", domain="node:0")
+        )
+        assert metrics.mttr_ms() == 0.0
 
 
 class TestImprovementFactors:

@@ -118,3 +118,56 @@ class TestSummary:
         assert "medes" in text
         assert "cold" in text
         assert "requests completed" in text
+
+
+class TestDrainLoop:
+    """Regressions on Platform.run's post-trace drain behaviour."""
+
+    @staticmethod
+    def _pressured_platform():
+        suite = FunctionBenchSuite.subset(["LinAlg"])
+        config = ClusterConfig(
+            nodes=1,
+            node_memory_mb=384.0,
+            content_scale=SCALE,
+            memory_sample_interval_ms=1_000.0,
+        )
+        return suite, build_platform(PlatformKind.MEDES, config, suite)
+
+    def test_sampler_stops_when_trace_ends(self):
+        """Regression: the memory sampler used to keep ticking through
+        drain-guard extensions, appending quiet-period samples that
+        dragged down mean_memory_bytes."""
+        from repro.workload.trace import Trace
+
+        suite, platform = self._pressured_platform()
+        trace = Trace.from_arrivals([(float(i * 500), "LinAlg") for i in range(10)])
+        # A tail too short for the in-flight requests: the drain guard
+        # must extend the run past `end`, with the sampler already dead.
+        report = platform.run(trace, tail_ms=100.0)
+        end = trace.duration_ms + 100.0
+        assert platform.sim.now > end, "workload must exercise the drain guard"
+        times = report.metrics.memory_timeline.column("time_ms")
+        assert len(times) > 0
+        assert times.max() <= end
+
+    def test_drain_does_not_rescan_request_records(self):
+        """Regression: the drain guard used to rescan every request
+        record per extension (quadratic at cluster scale); it must now
+        read only the outstanding counter."""
+        from repro.workload.trace import Trace
+
+        class CountingDict(dict):
+            values_calls = 0
+
+            def values(self):
+                CountingDict.values_calls += 1
+                return super().values()
+
+        suite, platform = self._pressured_platform()
+        platform.metrics.requests = CountingDict()
+        trace = Trace.from_arrivals([(float(i * 500), "LinAlg") for i in range(10)])
+        platform.run(trace, tail_ms=100.0)
+        assert platform.sim.now > trace.duration_ms + 100.0
+        assert CountingDict.values_calls == 0
+        assert platform.metrics.outstanding_requests == 0

@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.sim.engine import SimulationError, Simulator
+from repro.sim.engine import _COMPACT_MIN_CANCELLED, SimulationError, Simulator
 
 
 class TestScheduling:
@@ -177,3 +177,147 @@ class TestRunUntil:
         sim.after(1.0, rearm)
         with pytest.raises(SimulationError, match="budget"):
             sim.run(max_events=100)
+
+    def test_budget_ignores_cancelled_entries(self):
+        """Regression: ``run(max_events=N)`` used to raise "event budget
+        exhausted" when the heap held nothing but lazily-cancelled
+        entries — the guard only checked heap emptiness, counting
+        garbage as pending work."""
+        sim = Simulator()
+        fired = []
+        for i in range(5):
+            sim.at(float(i), lambda i=i: fired.append(i))
+        timers = [sim.at(100.0 + i, lambda: fired.append("cancelled")) for i in range(20)]
+        for timer in timers:
+            timer.cancel()
+        sim.run(max_events=5)  # must complete, not raise
+        assert fired == [0, 1, 2, 3, 4]
+        assert sim.pending_events == 0
+        assert sim.cancelled_events == 0
+
+    def test_budget_still_raises_with_live_events(self):
+        sim = Simulator()
+        for i in range(10):
+            sim.at(float(i), lambda: None)
+        cancelled = sim.at(50.0, lambda: None)
+        cancelled.cancel()
+        with pytest.raises(SimulationError, match=r"6 live events.*1 cancelled"):
+            sim.run(max_events=4)
+
+
+class TestCancelledBookkeeping:
+    def test_pending_excludes_cancelled(self):
+        sim = Simulator()
+        live = sim.at(1.0, lambda: None)
+        dead = sim.at(2.0, lambda: None)
+        dead.cancel()
+        assert sim.pending_events == 1
+        assert sim.cancelled_events == 1
+        sim.run()
+        assert sim.pending_events == 0
+        assert sim.cancelled_events == 0
+        assert not live.pending
+
+    def test_compaction_drops_cancelled_entries(self):
+        """Once cancelled entries dominate a large heap, the heap is
+        rebuilt without them instead of waiting for lazy pops."""
+        sim = Simulator()
+        doomed = [sim.at(10.0 + i, lambda: None) for i in range(_COMPACT_MIN_CANCELLED)]
+        keep = [sim.at(5.0 + i, lambda: None) for i in range(10)]
+        for timer in doomed:
+            timer.cancel()
+        # Compaction triggered by the last cancel: heap shrank in place.
+        assert len(sim._heap) == len(keep)
+        assert sim.cancelled_events == 0
+        assert sim.pending_events == len(keep)
+        # The surviving entries still dispatch in order.
+        for _ in range(len(keep)):
+            assert sim.step()
+        assert sim.events_processed == len(keep)
+        assert not sim.step()
+
+    def test_small_heaps_not_compacted(self):
+        sim = Simulator()
+        timers = [sim.at(1.0 + i, lambda: None) for i in range(10)]
+        for timer in timers:
+            timer.cancel()
+        # Below _COMPACT_MIN_CANCELLED: entries stay until popped.
+        assert len(sim._heap) == 10
+        assert sim.pending_events == 0
+        sim.run()
+        assert len(sim._heap) == 0
+
+
+class TestScheduleStream:
+    def test_stream_matches_eager_order(self):
+        times = [1.0, 2.0, 2.0, 3.0, 7.5, 7.5, 7.5, 9.0]
+        eager_sim = Simulator()
+        eager_seen = []
+        for i, t in enumerate(times):
+            eager_sim.at(t, lambda i=i: eager_seen.append((eager_sim.now, i)))
+        eager_sim.run()
+
+        stream_sim = Simulator()
+        stream_seen = []
+        stream_sim.schedule_stream(
+            times,
+            lambda i: lambda: stream_seen.append((stream_sim.now, i)),
+            chunk_size=3,
+        )
+        stream_sim.run()
+        assert stream_seen == eager_seen
+
+    def test_stream_keeps_window_resident(self):
+        times = [float(i) for i in range(100)]
+        sim = Simulator()
+        sim.schedule_stream(times, lambda i: lambda: None, chunk_size=8)
+        assert sim.pending_events == 8
+        sim.run()
+        assert sim.events_processed == 100
+
+    def test_stream_reserves_sequence_numbers(self):
+        """Events scheduled *after* the stream tie-break behind in-stream
+        same-time events, exactly as if the stream had been eager."""
+        sim = Simulator()
+        order = []
+        sim.schedule_stream(
+            [1.0, 5.0, 5.0], lambda i: lambda: order.append(f"s{i}"), chunk_size=1
+        )
+        sim.at(5.0, lambda: order.append("late"))
+        sim.run()
+        assert order == ["s0", "s1", "s2", "late"]
+
+    def test_stream_rejects_unsorted(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError, match="unsorted"):
+            sim.schedule_stream([5.0, 1.0], lambda i: lambda: None, chunk_size=10)
+            sim.run()
+
+    def test_stream_empty_and_bad_chunk(self):
+        sim = Simulator()
+        assert sim.schedule_stream([], lambda i: lambda: None) == 0
+        with pytest.raises(SimulationError):
+            sim.schedule_stream([1.0], lambda i: lambda: None, chunk_size=0)
+
+    @given(
+        st.lists(st.floats(min_value=0, max_value=1e5), min_size=1, max_size=60),
+        st.integers(min_value=1, max_value=7),
+    )
+    def test_stream_bit_identical_to_eager(self, times, chunk):
+        times = sorted(times)
+        eager_sim = Simulator()
+        eager_seen = []
+        for i, t in enumerate(times):
+            eager_sim.at(t, lambda i=i: eager_seen.append((eager_sim.now, i)))
+        eager_sim.run()
+
+        stream_sim = Simulator()
+        stream_seen = []
+        stream_sim.schedule_stream(
+            times,
+            lambda i: lambda: stream_seen.append((stream_sim.now, i)),
+            chunk_size=chunk,
+        )
+        stream_sim.run()
+        assert stream_seen == eager_seen
+        assert stream_sim.events_processed == eager_sim.events_processed
