@@ -52,7 +52,7 @@ from repro.platform.metrics import (
     TierOpRecord,
 )
 from repro.sandbox.checkpoint import BaseCheckpoint, CheckpointStore
-from repro.sandbox.node import Node
+from repro.sandbox.node import EvictionOrder, Node, rank_victims
 from repro.sandbox.sandbox import Sandbox
 from repro.sandbox.state import SandboxState
 from repro.sim.engine import Simulator, Timer
@@ -548,6 +548,26 @@ class ClusterController:
         self.metrics.sandboxes_created += 1
         return sandbox
 
+    def _evictable_sandboxes(self, node: Node) -> list[Sandbox]:
+        """Node's purgeable idle victims, unranked."""
+        victims = [s for s in node.sandboxes.values() if s.evictable]
+        if self.tiering:
+            # Dedup-cold sandboxes hold no DRAM (their table is on SSD);
+            # purging them frees nothing and destroys restorable state.
+            victims = [s for s in victims if s.table_tier is None]
+        return victims
+
+    def _unpinned_base_sandboxes(self, node: Node) -> list[Sandbox]:
+        """Node's last-resort base victims (refcount 0), unranked."""
+        return [
+            s
+            for s in node.sandboxes.values()
+            if s.is_base
+            and s.idle_warm
+            and s.base_checkpoint_id is not None
+            and not self.store.get(s.base_checkpoint_id).pinned
+        ]
+
     def _eviction_candidates(self, node: Node, *, include_bases: bool) -> list[Sandbox]:
         """Node's LRU idle victims.
 
@@ -555,25 +575,39 @@ class ClusterController:
         they are spared under ordinary pressure; ``include_bases`` opens
         up *unpinned* bases (refcount 0) as a genuine last resort —
         without it, an unpinned base on a full node could starve queued
-        work indefinitely.
+        work indefinitely.  ``eviction_scan_cap`` bounds the candidates
+        ranked per call without changing which victim is purged next
+        (the capped list is an exact prefix of the unlimited order); the
+        ranked count feeds ``metrics.eviction_candidates_scanned``, so
+        scan volume under pressure is observable either way.
         """
-        victims = node.eviction_candidates(self.config.eviction_order)
-        if self.tiering:
-            # Dedup-cold sandboxes hold no DRAM (their table is on SSD);
-            # purging them frees nothing and destroys restorable state.
-            victims = [s for s in victims if s.table_tier is None]
+        cap = self.config.eviction_scan_cap or None
+        victims = rank_victims(
+            self._evictable_sandboxes(node), self.config.eviction_order, limit=cap
+        )
+        self.metrics.eviction_candidates_scanned += len(victims)
         if include_bases:
-            unpinned_bases = [
-                s
-                for s in node.sandboxes.values()
-                if s.is_base
-                and s.idle_warm
-                and s.base_checkpoint_id is not None
-                and not self.store.get(s.base_checkpoint_id).pinned
-            ]
-            unpinned_bases.sort(key=lambda s: (s.last_used_at, s.sandbox_id))
+            unpinned_bases = rank_victims(
+                self._unpinned_base_sandboxes(node), EvictionOrder.LRU, limit=cap
+            )
+            self.metrics.eviction_candidates_scanned += len(unpinned_bases)
             victims = victims + unpinned_bases
         return victims
+
+    def _reclaimable_bytes(self, node: Node, *, include_bases: bool) -> int:
+        """Memory evicting every candidate would free — unranked.
+
+        The placement gate only needs the *total*, so it skips the
+        ranking entirely: an O(idle) sum that stays exact under an
+        ``eviction_scan_cap`` (a capped ranked list would undercount and
+        wrongly skip nodes with enough reclaimable memory).
+        """
+        total = sum(s.memory_bytes() for s in self._evictable_sandboxes(node))
+        if include_bases:
+            total += sum(
+                s.memory_bytes() for s in self._unpinned_base_sandboxes(node)
+            )
+        return total
 
     def _place(self, needed_bytes: int, *, allow_bases: bool = False) -> Node | None:
         """Least-used node that fits, evicting idle sandboxes if needed.
@@ -603,9 +637,8 @@ class ClusterController:
             if node.fits(needed_bytes):
                 return node
         for node in candidates:
-            reclaimable = node.free_bytes() + sum(
-                victim.memory_bytes()
-                for victim in self._eviction_candidates(node, include_bases=include_bases)
+            reclaimable = node.free_bytes() + self._reclaimable_bytes(
+                node, include_bases=include_bases
             )
             if reclaimable < needed_bytes:
                 continue

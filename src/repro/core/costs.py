@@ -17,7 +17,8 @@ are calibrated against the paper's measured anchors:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, replace
 from typing import Sequence
 
 
@@ -137,3 +138,47 @@ class CostModel:
 
     def register_ms(self, full_pages: int) -> float:
         return full_pages * self.base_register_us_per_page / 1e3
+
+    def with_measured_fingerprint(self, **kwargs) -> "CostModel":
+        """This model with ``fingerprint_us_per_page`` measured, not assumed.
+
+        Runs :func:`measure_fingerprint_us_per_page` on this machine and
+        returns a copy carrying the result, so simulated dedup-op timings
+        track the actual batch kernel rather than the paper-era default.
+        Opt-in: the default constants stay fixed for reproducibility.
+        """
+        return replace(
+            self, fingerprint_us_per_page=measure_fingerprint_us_per_page(**kwargs)
+        )
+
+
+def measure_fingerprint_us_per_page(
+    page_size: int = 4096,
+    pages: int = 2048,
+    config=None,
+    repeats: int = 3,
+) -> float:
+    """Measured per-page cost (us) of the batch fingerprint kernel.
+
+    Times :func:`~repro.memory.fingerprint.batch_page_fingerprints` over
+    a deterministic pseudo-random buffer (min over ``repeats``) — the
+    calibration source for :attr:`CostModel.fingerprint_us_per_page`.
+    Imports lazily so the cost model stays importable without numpy
+    workloads in play.
+    """
+    import numpy as np
+
+    from repro._util import rng_for
+    from repro.memory.fingerprint import batch_page_fingerprints
+
+    if pages <= 0:
+        raise ValueError("pages must be positive")
+    rng = rng_for("fingerprint-calibration", page_size, pages)
+    data = rng.integers(0, 256, size=page_size * pages, dtype=np.uint8)
+    batch_page_fingerprints(data, page_size, config)  # warm up
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        batch_page_fingerprints(data, page_size, config)
+        best = min(best, time.perf_counter() - t0)
+    return best / pages * 1e6

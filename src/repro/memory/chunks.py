@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro._util import hash_bytes
+from repro._util import gather_chunks, hash_bytes, hash_rows_sha1
 
 #: Default chunk size in bytes (the paper's RSC size).
 DEFAULT_CHUNK_SIZE = 64
@@ -40,10 +40,17 @@ def fixed_offset_digests(
     if chunk_size <= 0 or stride <= 0:
         raise ValueError("chunk_size and stride must be positive")
     raw = data.tobytes()
-    return [
-        (offset, hash_bytes(raw[offset : offset + chunk_size], bits))
-        for offset in range(0, len(raw) - chunk_size + 1, stride)
-    ]
+    offsets = np.arange(0, len(raw) - chunk_size + 1, stride, dtype=np.int64)
+    if bits > 64:
+        # Wide digests exceed the vectorised kernels' uint64 output;
+        # keep the scalar big-int path for this experiment-only width.
+        return [
+            (int(offset), hash_bytes(raw[offset : offset + chunk_size], bits))
+            for offset in offsets
+        ]
+    matrix = gather_chunks(np.frombuffer(raw, dtype=np.uint8), offsets, chunk_size)
+    digests = hash_rows_sha1(matrix, bits)
+    return list(zip(offsets.tolist(), digests.tolist()))
 
 
 def rolling_last2(data: np.ndarray) -> np.ndarray:
@@ -127,6 +134,70 @@ def enforce_spacing(
             if cap is not None and len(kept) >= cap:
                 break
     return np.asarray(kept, dtype=np.int64)
+
+
+def batch_enforce_spacing(
+    positions: np.ndarray,
+    page_size: int,
+    spacing: int,
+    *,
+    cap: int,
+) -> np.ndarray:
+    """Per-page greedy thinning of a whole buffer's marker hits, vectorised.
+
+    ``positions`` are sorted absolute buffer offsets (the output of
+    :func:`batch_marker_ends`); the result equals running
+    :func:`enforce_spacing` with ``cap`` on each page's positions
+    independently and re-concatenating — pinned by a hypothesis property
+    (``tests/memory/test_vector_kernel.py``).
+
+    The greedy recurrence ("keep a hit iff it is >= ``spacing`` past the
+    last kept hit of its page") looks inherently serial, but at most
+    ``cap`` hits survive per page, so it resolves in at most ``cap``
+    *rounds* over the whole buffer: each round picks the first surviving
+    hit of every page simultaneously (a segmented ``minimum.reduceat``),
+    then kills every hit within ``spacing`` of its page's pick.  ``cap``
+    is ~5 (the fingerprint cardinality), so the per-hit Python loop this
+    replaces becomes ~5 full-array passes.
+    """
+    if spacing <= 0:
+        raise ValueError("spacing must be positive")
+    if cap <= 0:
+        raise ValueError("cap must be positive")
+    n = len(positions)
+    if n == 0:
+        return positions.astype(np.int64, copy=False)
+    positions = positions.astype(np.int64, copy=False)
+    pages = positions // page_size
+    # Hits are sorted, so each page's hits are one contiguous segment.
+    seg_starts = np.flatnonzero(np.concatenate(([True], pages[1:] != pages[:-1])))
+    seg_of = np.repeat(
+        np.arange(len(seg_starts), dtype=np.int64),
+        np.diff(np.concatenate((seg_starts, [n]))),
+    )
+    index = np.arange(n, dtype=np.int64)
+    alive = np.ones(n, dtype=bool)
+    kept_rounds: list[np.ndarray] = []
+    for _ in range(cap):
+        masked = np.where(alive, index, n)
+        first = np.minimum.reduceat(masked, seg_starts)
+        have = first < n
+        if not have.any():
+            break
+        picks = positions[first[have]]
+        kept_rounds.append(picks)
+        # Everything on a picked page below pick+spacing dies (the pick
+        # itself included — it has been consumed); pages with no pick
+        # left have no alive hits anyway.
+        threshold = np.full(len(seg_starts), np.iinfo(np.int64).min, dtype=np.int64)
+        threshold[have] = picks + spacing
+        alive &= positions >= threshold[seg_of]
+    if not kept_rounds:
+        return np.empty(0, dtype=np.int64)
+    kept = np.concatenate(kept_rounds)
+    # Absolute positions encode (page, offset) order directly.
+    kept.sort()
+    return kept
 
 
 def batch_marker_ends(

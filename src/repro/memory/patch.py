@@ -279,20 +279,37 @@ def _back_match_len(target: np.ndarray, base: np.ndarray, i: int, src: int, limi
     return m - (int(neq[-1]) + 1) if neq.size else m
 
 
-def _u64_at(buf: bytes, offsets: np.ndarray) -> np.ndarray:
-    """Little-endian uint64 values of ``buf`` at arbitrary byte offsets.
+def _window_values(target_bytes: bytes) -> np.ndarray:
+    """Little-endian u64 window value at every byte offset (length n-7).
 
-    Offsets sharing a residue modulo 8 are gathered from one strided
-    ``frombuffer`` view, so no per-offset Python work happens.
+    Eight strided writes from the eight aligned ``frombuffer`` views —
+    one pass over the buffer instead of one view per probe residue.
     """
-    out = np.empty(len(offsets), dtype=np.uint64)
+    n = len(target_bytes)
+    vals = np.empty(n - 7, dtype="<u8")
     for r in range(8):
-        sel = np.flatnonzero((offsets % 8) == r)
-        if not sel.size:
-            continue
-        view = np.frombuffer(buf, dtype="<u8", offset=r, count=(len(buf) - r) // 8)
-        out[sel] = view[(offsets[sel] - r) // 8]
-    return out
+        part = np.frombuffer(target_bytes, dtype="<u8", offset=r, count=(n - r) // 8)
+        vals[r::8] = part[: len(range(r, n - 7, 8))]
+    return vals
+
+
+def batch_window_values(matrix: np.ndarray) -> np.ndarray:
+    """:func:`_window_values` of every row of a ``(k, n)`` uint8 matrix.
+
+    Row ``j`` equals ``_window_values(matrix[j].tobytes())``; the values
+    build up as eight shifted-column accumulations over the whole stack,
+    so probing ``k`` fallback targets costs ``k`` times fewer numpy
+    dispatches than per-target calls.  Requires ``n >= 8``.
+    """
+    if matrix.ndim != 2 or matrix.dtype != np.uint8:
+        raise ValueError("expected a (k, n) uint8 matrix")
+    k, n = matrix.shape
+    if n < 8:
+        raise ValueError("rows must hold at least one 8-byte window")
+    vals = np.zeros((k, n - 7), dtype=np.uint64)
+    for b in range(8):
+        vals |= matrix[:, b : n - 7 + b].astype(np.uint64) << np.uint64(8 * b)
+    return vals
 
 
 @dataclass(frozen=True)
@@ -356,8 +373,11 @@ def build_anchor_index(base: bytes | np.ndarray, level: int = 1) -> AnchorIndex:
         )
     base_bytes = b_arr.tobytes()
     offs = np.arange(0, m, step, dtype=np.int64)
-    a = _u64_at(base_bytes, offs)
-    b = _u64_at(base_bytes, offs + 8)
+    # One window-value pass serves both key halves (offs + 8 is at most
+    # the last window start, m - 1 + 8 <= len - 8).
+    vals = _window_values(base_bytes)
+    a = vals[offs]
+    b = vals[offs + 8]
     order = np.lexsort((offs, b, a))
     a, b, offs = a[order], b[order], offs[order]
     if len(a) > 1:
@@ -382,20 +402,30 @@ def build_anchor_index(base: bytes | np.ndarray, level: int = 1) -> AnchorIndex:
 _EMPTY_I64 = np.empty(0, dtype=np.int64)
 
 
-def _candidates_at(index: AnchorIndex, target_bytes: bytes, r: int) -> tuple[np.ndarray, np.ndarray]:
+def _candidates_at(
+    index: AnchorIndex,
+    target_bytes: bytes,
+    r: int,
+    vals: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
     """Matching (position, base offset) pairs at positions ``r`` mod 8.
 
     One strided u64 view yields both key halves of every window starting
     at ``r + 8k`` (the halves of position ``p`` are the view's elements
     ``k`` and ``k + 1``), and one searchsorted pass matches them all
-    against the index.
+    against the index.  Precomputed ``vals`` (window values, see
+    :func:`batch_window_values`) replace the view with a stride-8 slice
+    — ``vals[r::8]`` holds exactly the view's elements.
     """
     n = len(target_bytes)
     count = (n - r) // 8
     kmax = min(count - 1, (n - ANCHOR_SIZE - r) // 8 + 1)
     if kmax <= 0 or not len(index.a):
         return _EMPTY_I64, _EMPTY_I64
-    u = np.frombuffer(target_bytes, dtype="<u8", offset=r, count=count)
+    if vals is None:
+        u = np.frombuffer(target_bytes, dtype="<u8", offset=r, count=count)
+    else:
+        u = vals[r::8]
     all_a = u[:kmax]
     sel = index.seen[_seen_slots(all_a)].nonzero()[0]
     if not sel.size:
@@ -406,33 +436,25 @@ def _candidates_at(index: AnchorIndex, target_bytes: bytes, r: int) -> tuple[np.
     return r + 8 * ks, srcs
 
 
-def _window_values(target_bytes: bytes) -> np.ndarray:
-    """Little-endian u64 window value at every byte offset (length n-7).
-
-    Eight strided writes from the eight aligned ``frombuffer`` views —
-    one pass over the buffer instead of one view per probe residue.
-    """
-    n = len(target_bytes)
-    vals = np.empty(n - 7, dtype="<u8")
-    for r in range(8):
-        part = np.frombuffer(target_bytes, dtype="<u8", offset=r, count=(n - r) // 8)
-        vals[r::8] = part[: len(range(r, n - 7, 8))]
-    return vals
-
-
-def _candidates_all(index: AnchorIndex, target_bytes: bytes) -> tuple[np.ndarray, np.ndarray]:
+def _candidates_all(
+    index: AnchorIndex,
+    target_bytes: bytes,
+    vals: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
     """Matching (position, base offset) pairs at *every* byte position.
 
     The dense-probe (``probe_step == 1``) counterpart of
     :func:`_candidates_at`: instead of eight residue sweeps concatenated
     and re-sorted, one window-value pass covers all positions, and the
-    ``seen`` prefilter output is already in position order.
+    ``seen`` prefilter output is already in position order.  A batch
+    caller passes precomputed ``vals`` to skip even that pass.
     """
     n = len(target_bytes)
     kmax = n - ANCHOR_SIZE + 1
     if kmax <= 0 or not len(index.a):
         return _EMPTY_I64, _EMPTY_I64
-    vals = _window_values(target_bytes)
+    if vals is None:
+        vals = _window_values(target_bytes)
     all_a = vals[:kmax]
     sel = index.seen[_seen_slots(all_a)].nonzero()[0]
     if not sel.size:
@@ -485,6 +507,7 @@ def _anchor_ops(
     base: np.ndarray,
     level: int,
     index: AnchorIndex | None = None,
+    window_values: np.ndarray | None = None,
 ) -> list[CopyOp | InsertOp]:
     """Greedy xdelta-style ops using an anchor-hash index over the base.
 
@@ -501,7 +524,11 @@ def _anchor_ops(
     binary search instead of hashing window by window.  The resulting
     ops are byte-identical to the scalar scan's.  A prebuilt ``index``
     (see :class:`AnchorIndex`) skips re-hashing the base; a stale one
-    (wrong level or base length) is ignored and rebuilt.
+    (wrong level or base length) is ignored and rebuilt.  Precomputed
+    ``window_values`` of the target (one row of
+    :func:`batch_window_values` — the batch path hashes the probe
+    positions of *all* its fallback targets in one call) feed the
+    candidate sweeps directly.
     """
     if index is None or index.level != level or index.base_len != len(base):
         index = build_anchor_index(base, level)
@@ -517,9 +544,9 @@ def _anchor_ops(
         cached = chains.get(residue)
         if cached is None:
             if probe_step == 1:
-                cached = _candidates_all(index, target_bytes)
+                cached = _candidates_all(index, target_bytes, window_values)
             else:
-                cached = _candidates_at(index, target_bytes, residue)
+                cached = _candidates_at(index, target_bytes, residue, window_values)
             chains[residue] = cached
         return cached
 
@@ -710,13 +737,31 @@ def compute_patches(
         stack_t = np.stack([t_arrs[j] for j in idxs])
         stack_b = np.stack([b_arrs[j] for j in idxs])
         threshold = max(64, int(n * ALIGNED_FALLBACK_RATIO))
-        for j, (first_unequal, bounds) in zip(idxs, _batch_aligned_runs(stack_t, stack_b)):
-            # Size the aligned patch analytically; only the winning
-            # candidate's ops are ever materialized.
-            aligned_size = _aligned_size_from_runs(first_unequal, bounds)
+        runs = _batch_aligned_runs(stack_t, stack_b)
+        # Size every aligned patch analytically first; only the winning
+        # candidate's ops are ever materialized.  Pairs whose aligned
+        # diff is poor fall back to anchor matching — their probe
+        # positions are hashed in one batched pass over the stack rather
+        # than per target.
+        sizes = [_aligned_size_from_runs(fu, bounds) for fu, bounds in runs]
+        fallback = [pos for pos, size in enumerate(sizes) if size > threshold]
+        window_vals: dict[int, np.ndarray] = {}
+        if fallback and n >= ANCHOR_SIZE:
+            stacked = batch_window_values(stack_t[fallback])
+            window_vals = {pos: stacked[q] for q, pos in enumerate(fallback)}
+        for pos, (j, (first_unequal, bounds)) in enumerate(zip(idxs, runs)):
+            aligned_size = sizes[pos]
             if aligned_size > threshold:
                 alt = Patch(
-                    ops=tuple(_anchor_ops(t_arrs[j], b_arrs[j], level, index=_index_for(j))),
+                    ops=tuple(
+                        _anchor_ops(
+                            t_arrs[j],
+                            b_arrs[j],
+                            level,
+                            index=_index_for(j),
+                            window_values=window_vals.get(pos),
+                        )
+                    ),
                     target_len=n,
                     base_len=n,
                 )

@@ -65,6 +65,14 @@ class ClusterConfig:
     """Shards of the controller fingerprint registry (Section 4.3); 1
     reproduces the paper's single-controller experiments."""
     eviction_order: EvictionOrder = EvictionOrder.LRU
+    eviction_scan_cap: int = 0
+    """Bound on eviction candidates ranked per placement decision.  A
+    permanently full node re-sorts its whole idle population on every
+    cold start (quadratic thrash at cluster scale); a positive cap ranks
+    only the top ``cap`` victims per decision (a ``heapq.nsmallest``
+    prefix of the full order, so the victims chosen are identical
+    whenever fewer than ``cap`` evictions suffice).  0 (the default)
+    reproduces the unbounded full-sort behaviour bit-identically."""
     enable_dedup_abort: bool = True
     """Abort an in-flight dedup op to serve an arriving request warm
     (cheaper than a cold start); off reproduces a stricter reading of

@@ -326,6 +326,10 @@ class RunMetrics:
     )
     """Sampled cluster memory usage, array-backed (list-of-sample API)."""
     evictions: int = 0
+    eviction_candidates_scanned: int = 0
+    """Eviction candidates ranked across all placement decisions — the
+    tripwire for quadratic scan thrash on permanently full clusters
+    (bounded per decision by ``ClusterConfig.eviction_scan_cap``)."""
     prewarm_spawns: int = 0
     sandboxes_created: int = 0
     bases_created: int = 0

@@ -22,6 +22,7 @@ equivalence tests).
 from __future__ import annotations
 
 import enum
+import heapq
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -45,6 +46,35 @@ class EvictionOrder(enum.Enum):
     """Free the most memory with the fewest evictions."""
     RANDOM = "random"
     """Uniformly random among idle sandboxes (deterministic per state)."""
+
+
+def rank_victims(
+    victims: list[Sandbox],
+    order: EvictionOrder = EvictionOrder.LRU,
+    *,
+    limit: int | None = None,
+) -> list[Sandbox]:
+    """Sort eviction ``victims`` into the configured order.
+
+    ``limit`` returns only the first ``limit`` victims — computed with a
+    heap selection instead of a full sort, so a permanently full node's
+    placement decisions cost ``O(idle)`` rather than
+    ``O(idle log idle)`` and the ranked list handed downstream stays
+    bounded.  The result is always an exact prefix of the unlimited
+    order (``heapq.nsmallest`` matches ``sorted(...)[:limit]``), so a
+    cap never changes *which* sandbox is evicted next.
+    """
+    if order is EvictionOrder.LRU:
+        key = lambda s: (s.last_used_at, s.sandbox_id)  # noqa: E731
+    elif order is EvictionOrder.LARGEST_FIRST:
+        key = lambda s: (-s.memory_bytes(), s.last_used_at, s.sandbox_id)  # noqa: E731
+    elif order is EvictionOrder.RANDOM:
+        key = lambda s: stable_seed("evict", s.sandbox_id, s.last_used_at)  # noqa: E731
+    else:  # pragma: no cover - exhaustive enum
+        raise AssertionError(f"unhandled eviction order {order}")
+    if limit is not None and len(victims) > limit:
+        return heapq.nsmallest(limit, victims, key=key)
+    return sorted(victims, key=key)
 
 
 class CapacityError(RuntimeError):
@@ -200,16 +230,15 @@ class Node:
     # ---------------------------------------------------------- eviction
 
     def eviction_candidates(
-        self, order: EvictionOrder = EvictionOrder.LRU
+        self,
+        order: EvictionOrder = EvictionOrder.LRU,
+        *,
+        limit: int | None = None,
     ) -> list[Sandbox]:
-        """Idle, non-base sandboxes in eviction order (default LRU)."""
+        """Idle, non-base sandboxes in eviction order (default LRU).
+
+        ``limit`` returns only the first ``limit`` victims of the order
+        (see :func:`rank_victims`).
+        """
         victims = [s for s in self.sandboxes.values() if s.evictable]
-        if order is EvictionOrder.LRU:
-            victims.sort(key=lambda s: (s.last_used_at, s.sandbox_id))
-        elif order is EvictionOrder.LARGEST_FIRST:
-            victims.sort(key=lambda s: (-s.memory_bytes(), s.last_used_at, s.sandbox_id))
-        elif order is EvictionOrder.RANDOM:
-            victims.sort(key=lambda s: stable_seed("evict", s.sandbox_id, s.last_used_at))
-        else:  # pragma: no cover - exhaustive enum
-            raise AssertionError(f"unhandled eviction order {order}")
-        return victims
+        return rank_victims(victims, order, limit=limit)

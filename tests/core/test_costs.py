@@ -54,3 +54,23 @@ class TestPaperAnchors:
 
     def test_warm_start_in_paper_band(self, costs):
         assert 1.0 <= costs.warm_start_ms <= 20.0
+
+
+class TestMeasuredFingerprint:
+    def test_with_measured_fingerprint_carries_measurement(self, costs):
+        from repro.core.costs import measure_fingerprint_us_per_page
+
+        measured = costs.with_measured_fingerprint(pages=64, repeats=1)
+        assert measured is not costs
+        assert measured.fingerprint_us_per_page > 0
+        # Only the fingerprint rate changes; every other constant stays.
+        assert measured.lookup_us_per_page == costs.lookup_us_per_page
+        assert measured.checkpoint_fixed_ms == costs.checkpoint_fixed_ms
+        rate = measure_fingerprint_us_per_page(pages=64, repeats=1)
+        assert 0 < rate < 1e4  # sane band: the kernel is well under 10 ms/page
+
+    def test_measure_rejects_bad_pages(self):
+        from repro.core.costs import measure_fingerprint_us_per_page
+
+        with pytest.raises(ValueError):
+            measure_fingerprint_us_per_page(pages=0)

@@ -1,0 +1,265 @@
+"""Equivalence properties of the vectorized fingerprint/anchor kernels.
+
+Every batch kernel of the VectorCDC-style rewrite is pinned against its
+scalar oracle here: segmented greedy thinning vs ``enforce_spacing``,
+gathered chunk hashing vs ``page_fingerprint``, the vectorised
+polynomial digest vs its pure-Python reference, batched window values vs
+the per-target pass, and the batched anchor fallback vs
+``compute_patch_reference`` — across page sizes, marker configs, ASLR'd
+synthetic images, sampling strategies, and the ``digest_bits > 64``
+fallback.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._util import MIB, hash_bytes, poly_hash_bytes, poly_hash_rows
+from repro.memory.chunks import (
+    batch_enforce_spacing,
+    batch_marker_ends,
+    enforce_spacing,
+    fixed_offset_digests,
+    split_positions_by_page,
+)
+from repro.memory.fingerprint import (
+    DEFAULT_CARDINALITY,
+    FingerprintConfig,
+    HashKind,
+    SamplingStrategy,
+    batch_fingerprint_arrays,
+    batch_page_fingerprints,
+    batch_sample_chunk_offsets,
+    fingerprints_from_arrays,
+    page_fingerprint,
+)
+from repro.memory.image import synthesize_image
+from repro.memory.layout import standard_layout
+from repro.memory.patch import (
+    _window_values,
+    batch_window_values,
+    compute_patch_reference,
+    compute_patches,
+)
+
+MARKER_BYTE = 0x77
+
+
+def _rng(seed: int) -> np.random.Generator:
+    return np.random.Generator(np.random.PCG64(seed))
+
+
+@st.composite
+def page_buffers(draw) -> tuple[int, np.ndarray]:
+    """A flat multi-page buffer with tunable marker density."""
+    page_size = draw(st.sampled_from([64, 128, 256, 512]))
+    num_pages = draw(st.integers(min_value=0, max_value=6))
+    seed = draw(st.integers(0, 2**32 - 1))
+    marker_rich = draw(st.booleans())
+    rng = _rng(seed)
+    if marker_rich:
+        # Heavy marker density (runs of 0x77 included), so spacing and
+        # cardinality caps actually bind.
+        alphabet = np.array([0, 1, MARKER_BYTE, MARKER_BYTE], dtype=np.uint8)
+        data = rng.choice(alphabet, size=page_size * num_pages)
+    else:
+        data = rng.integers(0, 256, size=page_size * num_pages, dtype=np.uint8)
+    return page_size, data
+
+
+@st.composite
+def fp_configs(draw) -> FingerprintConfig:
+    strategy = draw(st.sampled_from(list(SamplingStrategy)))
+    hash_kind = draw(st.sampled_from(list(HashKind)))
+    if hash_kind is HashKind.POLY64:
+        digest_bits = draw(st.sampled_from([16, 64]))
+    else:
+        digest_bits = draw(st.sampled_from([16, 64, 128]))
+    marker_mask, marker_value = draw(
+        st.sampled_from([(0x00FF, 0x0077), (0x0003, 0x0001), (0xFFFF, 0x7777)])
+    )
+    return FingerprintConfig(
+        chunk_size=draw(st.sampled_from([8, 16, 64])),
+        cardinality=draw(st.sampled_from([1, 3, DEFAULT_CARDINALITY])),
+        digest_bits=digest_bits,
+        marker_mask=marker_mask,
+        marker_value=marker_value,
+        strategy=strategy,
+        hash_kind=hash_kind,
+    )
+
+
+class TestSegmentedThinning:
+    @given(
+        page_buffers(),
+        st.integers(min_value=1, max_value=6),
+        st.sampled_from([4, 8, 16, 64]),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_matches_per_page_enforce_spacing(self, buf, cap, spacing):
+        page_size, data = buf
+        num_pages = len(data) // page_size
+        hits = batch_marker_ends(
+            data, page_size, mask=0x00FF, value=MARKER_BYTE, min_position=spacing - 1
+        )
+        kept = batch_enforce_spacing(hits, page_size, spacing, cap=cap)
+        parts = split_positions_by_page(hits, page_size, num_pages)
+        expected = [enforce_spacing(part, spacing, cap=cap) for part in parts]
+        flat = (
+            np.concatenate(expected) if expected else np.empty(0, dtype=np.int64)
+        )
+        np.testing.assert_array_equal(kept, flat)
+
+    def test_rejects_bad_args(self):
+        empty = np.empty(0, dtype=np.int64)
+        with pytest.raises(ValueError):
+            batch_enforce_spacing(empty, 64, 0, cap=5)
+        with pytest.raises(ValueError):
+            batch_enforce_spacing(empty, 64, 8, cap=0)
+
+
+class TestBatchFingerprintEquivalence:
+    @given(page_buffers(), fp_configs())
+    @settings(max_examples=80, deadline=None)
+    def test_matches_page_oracle(self, buf, cfg):
+        page_size, data = buf
+        got = batch_page_fingerprints(data, page_size, cfg)
+        pages = data.reshape(-1, page_size)
+        expected = [page_fingerprint(page, cfg) for page in pages]
+        assert got == expected
+
+    @given(page_buffers(), fp_configs(), st.integers(0, 2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_page_subset_matches_full(self, buf, cfg, seed):
+        page_size, data = buf
+        num_pages = len(data) // page_size
+        mask = _rng(seed).random(num_pages) < 0.5
+        subset = np.flatnonzero(mask)
+        got = batch_page_fingerprints(data, page_size, cfg, pages=subset)
+        full = batch_page_fingerprints(data, page_size, cfg)
+        assert got == [full[i] for i in subset.tolist()]
+
+    def test_flat_arrays_round_trip(self):
+        data = _rng(11).integers(0, 256, size=8 * 4096, dtype=np.uint8)
+        digests, offsets, counts = batch_fingerprint_arrays(data, 4096)
+        assert digests.dtype == np.uint64
+        assert int(counts.sum()) == len(digests) == len(offsets)
+        assert fingerprints_from_arrays(digests, offsets, counts) == (
+            batch_page_fingerprints(data, 4096)
+        )
+
+    def test_flat_arrays_reject_wide_digests(self):
+        data = np.zeros(4096, dtype=np.uint8)
+        with pytest.raises(ValueError):
+            batch_fingerprint_arrays(data, 4096, FingerprintConfig(digest_bits=128))
+
+    @pytest.mark.parametrize("aslr", [False, True])
+    def test_synthetic_image_matches_oracle(self, aslr):
+        layout = standard_layout("LinAlg", ("numpy",), 32 * MIB)
+        image = synthesize_image(layout, 128 * 1024, instance_seed=3, aslr=aslr)
+        cfg = FingerprintConfig()
+        got = batch_page_fingerprints(image.data, image.page_size, cfg)
+        expected = [page_fingerprint(page, cfg) for _, page in image.iter_pages()]
+        assert got == expected
+
+
+class TestPolyHash:
+    @given(
+        st.integers(0, 2**32 - 1),
+        st.integers(min_value=1, max_value=8),
+        st.sampled_from([8, 64]),
+        st.sampled_from([16, 32, 64]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_rows_match_scalar(self, seed, rows, chunk, bits):
+        matrix = _rng(seed).integers(0, 256, size=(rows, chunk), dtype=np.uint8)
+        vec = poly_hash_rows(matrix, bits).tolist()
+        assert vec == [poly_hash_bytes(row.tobytes(), bits) for row in matrix]
+
+    def test_poly_config_rejects_wide_digests(self):
+        with pytest.raises(ValueError):
+            FingerprintConfig(hash_kind=HashKind.POLY64, digest_bits=128)
+
+    def test_disjoint_from_sha1(self):
+        data = _rng(5).integers(0, 256, size=2 * 4096, dtype=np.uint8)
+        sha = batch_page_fingerprints(data, 4096, FingerprintConfig())
+        poly = batch_page_fingerprints(
+            data, 4096, FingerprintConfig(hash_kind=HashKind.POLY64)
+        )
+        assert [fp.offsets for fp in sha] == [fp.offsets for fp in poly]
+        assert all(a.digests != b.digests for a, b in zip(sha, poly))
+
+
+class TestFixedOffsetRegressions:
+    def test_offset_lists_are_independent(self):
+        # Regression: the FIXED_OFFSETS batch path used to return the
+        # *same* list object for every page ([offsets] * num_pages).
+        cfg = FingerprintConfig(strategy=SamplingStrategy.FIXED_OFFSETS)
+        data = np.zeros(3 * 4096, dtype=np.uint8)
+        out = batch_sample_chunk_offsets(data, 4096, cfg)
+        assert out[0] == out[1] == out[2]
+        assert out[0] is not out[1]
+        out[0].append(-1)
+        assert len(out[1]) == cfg.cardinality
+        assert out[1] == out[2]
+
+    @given(st.integers(0, 2**32 - 1), st.sampled_from([8, 64, 128]))
+    @settings(max_examples=40, deadline=None)
+    def test_fixed_offset_digests_match_scalar(self, seed, bits):
+        data = _rng(seed).integers(0, 256, size=1024, dtype=np.uint8)
+        chunk_size, stride = 16, 24
+        got = fixed_offset_digests(data, chunk_size, stride, bits)
+        raw = data.tobytes()
+        assert got == [
+            (off, hash_bytes(raw[off : off + chunk_size], bits))
+            for off in range(0, len(raw) - chunk_size + 1, stride)
+        ]
+
+
+class TestBatchedAnchorProbes:
+    @given(
+        st.integers(0, 2**32 - 1),
+        st.integers(min_value=8, max_value=200),
+        st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_batch_window_values_match_scalar(self, seed, n, rows):
+        matrix = _rng(seed).integers(0, 256, size=(rows, n), dtype=np.uint8)
+        vals = batch_window_values(matrix)
+        for j in range(rows):
+            np.testing.assert_array_equal(
+                vals[j], _window_values(matrix[j].tobytes())
+            )
+
+    def test_batch_window_values_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            batch_window_values(np.zeros(16, dtype=np.uint8))
+        with pytest.raises(ValueError):
+            batch_window_values(np.zeros((2, 4), dtype=np.uint8))
+
+    @given(st.integers(0, 2**32 - 1), st.sampled_from([1, 2]))
+    @settings(max_examples=25, deadline=None)
+    def test_fallback_patches_match_reference(self, seed, level):
+        # A batch mixing aligned-good pairs with shifted pairs that force
+        # the anchor fallback (its probe positions are hashed in one
+        # batched window-value pass) must stay byte-identical to the
+        # scalar per-pair reference.
+        rng = _rng(seed)
+        n = 512
+        base = rng.integers(0, 256, size=n, dtype=np.uint8)
+        shift = int(rng.integers(1, 64))
+        shifted = np.roll(base, shift)
+        near = base.copy()
+        near[10:20] = rng.integers(0, 256, size=10, dtype=np.uint8)
+        unrelated = rng.integers(0, 256, size=n, dtype=np.uint8)
+        targets = [shifted, near, unrelated, base.copy()]
+        bases = [base, base, base, base]
+        got = compute_patches(targets, bases, level=level)
+        expected = [
+            compute_patch_reference(t, b, level=level)
+            for t, b in zip(targets, bases)
+        ]
+        assert got == expected
