@@ -49,6 +49,8 @@ from repro.platform.metrics import (
     RestoreOpRecord,
     RunMetrics,
     StartType,
+    TemplateForkRecord,
+    TemplateOpRecord,
     TierOpRecord,
 )
 from repro.sandbox.checkpoint import BaseCheckpoint, CheckpointStore
@@ -58,7 +60,9 @@ from repro.sandbox.state import SandboxState
 from repro.sim.engine import Simulator, Timer
 from repro.sim.network import PeerUnavailable
 from repro.storage.store import TieredCheckpointStore
-from repro.storage.tiers import StorageTier
+from repro.storage.tiers import StorageTier, TierAccount
+from repro.templates.catalog import TemplateCatalog, TemplatePoolFull
+from repro.templates.delta import TemplateDeltaTable
 from repro.workload.functionbench import FunctionBenchSuite
 from repro.workload.trace import Request
 from repro._util import rng_for
@@ -107,6 +111,7 @@ class ClusterController:
         basemgr: BaseSandboxManager,
         stats: dict[str, FunctionStats] | None = None,
         faults: "FaultRuntime | None" = None,
+        templates: TemplateCatalog | None = None,
     ):
         self.sim = sim
         self.config = config
@@ -120,6 +125,10 @@ class ClusterController:
         self.basemgr = basemgr
         self.stats = stats or {}
         self._faults = faults
+        self.templates = templates
+        """Cluster-wide template catalog (DESIGN.md §14; None unless
+        ``template_sharing`` is on — every template code path below is
+        gated on it, so the off configuration is bit-identical)."""
         #: request_id -> (completion timer, sandbox, request, record) of
         #: every request with a scheduled future event (startup or exec);
         #: a node crash cancels and re-dispatches the affected entries.
@@ -143,6 +152,13 @@ class ClusterController:
         self._cold: dict[int, Sandbox] = {}
         """Dedup sandboxes whose table is parked on SSD, in demote order
         (the SSD-pressure LRU; tiering only)."""
+        self._spilled: dict[int, Sandbox] = {}
+        """Template sandboxes whose delta is parked on local SSD
+        ("template-cold"), in spill order — the SSD-pressure LRU
+        (template sharing only)."""
+        self._delta_ssd: dict[int, TierAccount] = {}
+        """Per-node SSD capacity accounts for spilled template deltas
+        (template sharing only; built lazily on first spill)."""
         self._index = SandboxIndex()
         self._usage = NodeUsageIndex(nodes)
         if self.indexed:
@@ -234,6 +250,7 @@ class ClusterController:
             registry_available=(
                 self._faults is None or self._faults.health.registry_available()
             ),
+            templates_available=self.templates is not None,
         )
 
     @property
@@ -347,9 +364,27 @@ class ClusterController:
             return True
 
         dedup_candidates.sort(key=lambda s: (s.last_used_at, s.sandbox_id), reverse=True)
+        if self.templates is not None:
+            # Template forks are the cheaper restore (no base fetches),
+            # so they outrank dedup restores in the start ladder: warm >
+            # template > dedup > cold.  Stable partition, so within each
+            # flavour the MRU order above is preserved.
+            dedup_candidates = [
+                s
+                for s in dedup_candidates
+                if isinstance(s.dedup_table, TemplateDeltaTable)
+            ] + [
+                s
+                for s in dedup_candidates
+                if not isinstance(s.dedup_table, TemplateDeltaTable)
+            ]
         failed_dedup = False
         for sandbox in dedup_candidates:
-            if self._start_dedup(sandbox, request, record):
+            if isinstance(sandbox.dedup_table, TemplateDeltaTable):
+                started = self._start_template(sandbox, request, record)
+            else:
+                started = self._start_dedup(sandbox, request, record)
+            if started:
                 return True
             failed_dedup = True
             # That candidate's restore failed (retry storm, partition,
@@ -476,6 +511,94 @@ class ClusterController:
         self._inflight[request.request_id] = (timer, sandbox, request, record)
         return True
 
+    def _start_template(
+        self, sandbox: Sandbox, request: Request, record: RequestRecord
+    ) -> bool:
+        """Serve ``request`` by forking a template-parked sandbox.
+
+        The fork promotes any segment the node lacks (charged pool read,
+        pinned to the node's DRAM as a fork cache) and applies the
+        per-function delta over the replicas.  Returns False when the
+        promote's transient-RPC plan is exhausted — the sandbox stays
+        parked and intact, and the caller walks down the ladder
+        (another candidate, then dedup, then cold).
+        """
+        table = sandbox.dedup_table
+        assert isinstance(table, TemplateDeltaTable)
+        assert self.templates is not None
+        agent = self.agents[sandbox.node_id]
+        try:
+            outcome = agent.fork_restore(
+                table, now=self.sim.now, verify=self.config.verify_restores
+            )
+        except RetryExhausted as exc:
+            record.retry_penalty_ms += exc.charged_ms
+            self.metrics.template_fork_fallbacks += 1
+            return False
+        # A spilled ("template-cold") delta reads back from the pool
+        # first — charged into the fork's promote leg, after the fork is
+        # known to proceed so a failed attempt leaves the spill intact.
+        unspill_ms = self._unspill_delta(sandbox)
+        node = self.nodes[sandbox.node_id]
+        for segment in outcome.promoted:
+            node.pin_template(segment.segment_id, segment.full_bytes)
+        self.metrics.template_promotions += len(outcome.promoted)
+        self.metrics.template_promote_bytes += outcome.promoted_bytes
+        self._timers_for(sandbox).cancel_all()
+        sandbox.busy_request_id = request.request_id
+        sandbox.transition(SandboxState.RESTORING, self.sim.now)
+        timings = outcome.timings
+        startup_ms = timings.total_ms + unspill_ms + record.retry_penalty_ms
+        self.metrics.template_forks.append(
+            TemplateForkRecord(
+                function=sandbox.function,
+                sandbox_id=sandbox.sandbox_id,
+                started_ms=self.sim.now,
+                promote_ms=timings.promote_ms + unspill_ms,
+                apply_ms=timings.apply_ms,
+                restore_ms=timings.restore_ms,
+                promoted_bytes=outcome.promoted_bytes,
+                patched_pages=table.patched_pages,
+                unique_pages=len(table.unique_pages),
+                zero_pages=len(table.zero_pages),
+                retry_ms=timings.retry_ms,
+                retries=timings.retries,
+                cow_shared_bytes=table.cow_shareable_full_bytes,
+            )
+        )
+        if sandbox.function in self.stats:
+            # Template forks feed the same startup estimator as dedup
+            # restores: both are the policy's "parked restart" latency.
+            self.stats[sandbox.function].record_dedup_start(startup_ms)
+        record.start_type = StartType.TEMPLATE
+        record.queued_ms = self.sim.now - record.arrival_ms
+        record.startup_ms = startup_ms
+
+        def finish_fork() -> None:
+            table = sandbox.dedup_table
+            assert isinstance(table, TemplateDeltaTable)
+            assert self.templates is not None
+            sandbox.image = outcome.image
+            cow = table.cow_shareable_full_bytes
+            if cow > 0:
+                # The fork maps clean template pages copy-on-write from
+                # the node's replicas: the sandbox is charged only for
+                # the pages it owns, and the shared replicas stay pinned
+                # until it parks or dies (see _end_template_sharing).
+                sandbox.template_cow_bytes = cow
+                sandbox.template_share_keys = table.segment_keys
+                self.templates.add_sharers(table.segment_keys, sandbox.node_id)
+            # As in finish_restore: transition while the table is still
+            # set so accounting observers see a defined footprint.
+            sandbox.transition(SandboxState.RUNNING, self.sim.now)
+            sandbox.dedup_table = None
+            self.templates.release(table.segment_keys)
+            self._run_request(sandbox, request, record, already_started=True)
+
+        timer = self.sim.after(startup_ms, finish_fork)
+        self._inflight[request.request_id] = (timer, sandbox, request, record)
+        return True
+
     def _start_cold(
         self, request: Request, record: RequestRecord, *, desperate: bool = False
     ) -> bool:
@@ -551,9 +674,10 @@ class ClusterController:
     def _evictable_sandboxes(self, node: Node) -> list[Sandbox]:
         """Node's purgeable idle victims, unranked."""
         victims = [s for s in node.sandboxes.values() if s.evictable]
-        if self.tiering:
-            # Dedup-cold sandboxes hold no DRAM (their table is on SSD);
-            # purging them frees nothing and destroys restorable state.
+        if self.tiering or self.templates is not None:
+            # Dedup-cold / template-cold sandboxes hold no DRAM (their
+            # table lives on SSD or in the remote template pool); purging
+            # them frees nothing and destroys restorable state.
             victims = [s for s in victims if s.table_tier is None]
         return victims
 
@@ -607,6 +731,15 @@ class ClusterController:
             total += sum(
                 s.memory_bytes() for s in self._unpinned_base_sandboxes(node)
             )
+        if self.templates is not None:
+            # Droppable template replicas (pool copies survive; the last
+            # node-DRAM replica of a hot template is exempt).
+            total += sum(
+                segment.full_bytes
+                for segment in self.templates.evictable_replicas(
+                    node.node_id, self.sim.now
+                )
+            )
         return total
 
     def _place(self, needed_bytes: int, *, allow_bases: bool = False) -> Node | None:
@@ -645,10 +778,26 @@ class ClusterController:
             # Re-fetch candidates each round: purging can re-enter the
             # dispatcher (queued work drains) and evict on its own.
             while not node.fits(needed_bytes):
+                if self.templates is not None and self._drop_one_replica(node):
+                    # Replica eviction loses no state at all (the pool
+                    # copy re-promotes), so it is always the cheapest
+                    # rung — drop cold replicas before purging sandboxes.
+                    continue
                 victims = self._eviction_candidates(node, include_bases=include_bases)
                 if not victims:
                     break
                 victim = victims[0]
+                if self.templates is not None:
+                    # Function-coverage-aware order: a victim whose
+                    # function has other live copies purges at zero wire
+                    # cost, while evicting a *last* copy costs either a
+                    # future cold start or a pool round-trip.  Prefer
+                    # the redundant victim even if it is not the LRU
+                    # head; last copies go only when every candidate is
+                    # one.
+                    victim = next(
+                        (v for v in victims if self._has_other_copy(v)), victim
+                    )
                 if (
                     self.tiering
                     and victim.state is SandboxState.DEDUP
@@ -657,11 +806,193 @@ class ClusterController:
                     # Demote-before-purge: the table moved to SSD, its
                     # DRAM is free and the sandbox stays restorable.
                     continue
+                if (
+                    self.templates is not None
+                    and victim.state is SandboxState.WARM
+                    and self._park_victim_as_template(victim)
+                ):
+                    # Park-before-purge: the warm victim shrank to its
+                    # template delta, so its next start is a fork rather
+                    # than a cold start.  If the freed slack is still
+                    # not enough, the loop comes back around and the
+                    # spill rung below demotes the delta to the pool.
+                    continue
+                if (
+                    self.templates is not None
+                    and victim.state is SandboxState.DEDUP
+                    and self._spill_delta(victim)
+                ):
+                    # Spill-before-purge: the parked delta moved to the
+                    # remote-DRAM pool ("template-cold"), its node DRAM
+                    # is free, and the sandbox stays fork-restorable at
+                    # the charged pool-read cost.
+                    continue
                 self._purge(victim, reason="evicted")
                 self.metrics.evictions += 1
             if node.fits(needed_bytes):
                 return node
         return None
+
+    def _has_other_copy(self, sandbox: Sandbox) -> bool:
+        """Does any other live sandbox of this function exist?  If so,
+        losing ``sandbox`` cannot by itself cause the function's next
+        arrival to start cold."""
+        return any(
+            other is not sandbox and other.state is not SandboxState.PURGED
+            for other in self._function_sandboxes(sandbox.function).values()
+        )
+
+    def _drop_one_replica(self, node: Node) -> bool:
+        """Evict the coldest droppable template replica on ``node``.
+
+        Never strands a parked delta: the pool copy is authoritative and
+        the catalog's hot-window guard keeps the last node-DRAM replica
+        of any recently forked template in place.
+        """
+        assert self.templates is not None
+        victims = self.templates.evictable_replicas(node.node_id, self.sim.now)
+        if not victims:
+            return False
+        segment = victims[0]
+        self.templates.drop_replica(node.node_id, segment)
+        self.templates.replica_evictions += 1
+        node.unpin_template(segment.segment_id)
+        self.metrics.template_replica_evictions += 1
+        return True
+
+    def _park_victim_as_template(self, sandbox: Sandbox) -> bool:
+        """Eviction rung between replica drops and purges: park a warm
+        victim as a template delta instead of destroying it.
+
+        A dedup park is not viable here — it needs O(pages) registry
+        round-trips mid-eviction — but a template park is local patching
+        against known segments plus one pool write, so the controller
+        can shrink the victim to its delta on the spot.  The memory gap
+        (full footprint minus the retained delta) frees immediately;
+        the park runs synchronously because placement needs those bytes
+        in this very round.  Returns False (victim untouched, caller
+        purges) when the pool cannot take the segments or the publish's
+        transient-RPC plan is exhausted.
+
+        Last-copy gated, like the spill rung: parking a *redundant*
+        warm victim trades its full footprint for a delta the function
+        will likely never fork (another sandbox already serves it), and
+        under exactly the pressure that is evicting — the retained
+        deltas crowd out warm capacity and the cold-start count goes
+        *up*.  Redundant victims purge outright, as the template-free
+        controller would.
+        """
+        assert self.templates is not None
+        if self._has_other_copy(sandbox):
+            return False
+        self._ensure_image(sandbox)
+        agent = self.agents[sandbox.node_id]
+        try:
+            outcome = agent.templatize(sandbox)
+        except (TemplatePoolFull, RetryExhausted):
+            self.metrics.template_pool_rejections += 1
+            return False
+        self._timers_for(sandbox).cancel_all()
+        sandbox.transition(SandboxState.DEDUPING, self.sim.now)
+        self._complete_templatize(sandbox, outcome, self.sim.now)
+        self.metrics.template_evict_parks += 1
+        # The delta stays in node DRAM: the park already freed the gap
+        # between the full footprint and the retained delta, and the
+        # paired warm charge's entropy never crosses the wire.  If that
+        # slack is still not enough, the eviction loop comes back around
+        # and the spill rung demotes this same delta to local SSD — the
+        # demotion is paid lazily, only under sustained pressure.
+        return True
+
+    def _delta_ssd_account(self, node_id: int) -> TierAccount:
+        """The node's SSD capacity account for spilled template deltas."""
+        account = self._delta_ssd.get(node_id)
+        if account is None:
+            assert self.templates is not None
+            config = self.templates.pool.config
+            account = TierAccount(capacity_bytes=config.ssd_capacity_bytes)
+            self._delta_ssd[node_id] = account
+        return account
+
+    def _spill_delta(self, sandbox: Sandbox) -> bool:
+        """Demote a parked template delta onto the node's local SSD.
+
+        The template analogue of :meth:`_demote_table`'s dedup-cold rung
+        (§9 parks cold dedup tables on SSD the same way): the sandbox's
+        node-DRAM charge drops to zero while it stays fork-restorable —
+        the next fork reads the delta back at the charged SSD cost
+        before applying it over the replicas.  The delta never crosses
+        the fabric: only template *segments* get remote-DRAM durability
+        (they are shared and must survive node crashes); a per-function
+        delta dies with its node exactly like the warm image it came
+        from, so shipping it to the pool buys nothing but wire traffic.
+
+        Only the *last* live copy of a function's state is worth
+        keeping: purging a redundant delta costs nothing (another
+        sandbox still averts the cold start), while purging the last
+        one turns the function's next arrival into a cold start.  The
+        last-copy gate keeps spill traffic bounded by the function
+        count, not the eviction rate.
+
+        Under SSD pressure the node's oldest spilled delta is purged to
+        make room (the coldest restorable state in the system); returns
+        False when even that cannot fit the new delta.
+        """
+        assert self.templates is not None
+        table = sandbox.dedup_table
+        if (
+            sandbox.state is not SandboxState.DEDUP
+            or sandbox.busy_request_id is not None
+            or sandbox.table_tier is not None
+            or not isinstance(table, TemplateDeltaTable)
+        ):
+            return False
+        if self._has_other_copy(sandbox):
+            return False  # redundant copy: purging it loses nothing
+        nbytes = table.retained_full_bytes
+        ssd = self._delta_ssd_account(sandbox.node_id)
+        while not ssd.fits(nbytes):
+            victim = next(
+                (s for s in self._spilled.values() if s.node_id == sandbox.node_id),
+                None,
+            )
+            if victim is None:
+                return False
+            self._purge(victim, reason="ssd-pressure")
+            if not (
+                sandbox.state is SandboxState.DEDUP
+                and sandbox.busy_request_id is None
+                and sandbox.table_tier is None
+            ):
+                # The purge re-entered the dispatcher and this
+                # sandbox was claimed for a fork meanwhile.
+                return False
+        ssd.charge(nbytes)
+        self._timers_for(sandbox).cancel_all()
+        sandbox.table_tier = StorageTier.LOCAL_SSD
+        self.nodes[sandbox.node_id].recharge_sandbox(sandbox.sandbox_id)
+        self._spilled[sandbox.sandbox_id] = sandbox
+        self.metrics.template_delta_spills += 1
+        self.metrics.template_delta_spill_bytes += nbytes
+        return True
+
+    def _unspill_delta(self, sandbox: Sandbox) -> float:
+        """Read a spilled ("template-cold") delta back from the node's
+        SSD for a fork; returns the charged read cost (0.0 when never
+        spilled)."""
+        if sandbox.table_tier is None:
+            return 0.0
+        assert self.templates is not None
+        table = sandbox.dedup_table
+        assert isinstance(table, TemplateDeltaTable)
+        nbytes = table.retained_full_bytes
+        cost_ms = self.templates.pool.config.ssd_read_ms(nbytes)
+        self._delta_ssd_account(sandbox.node_id).release(nbytes)
+        sandbox.table_tier = None
+        self.nodes[sandbox.node_id].recharge_sandbox(sandbox.sandbox_id)
+        self._spilled.pop(sandbox.sandbox_id, None)
+        self.metrics.template_delta_unspill_bytes += nbytes
+        return cost_ms
 
     def spawn_prewarmed(self, function: str) -> bool:
         """Spawn a sandbox ahead of demand (adaptive policy pre-warming)."""
@@ -724,10 +1055,14 @@ class ClusterController:
             # Base sandboxes stay warm while they anchor dedup state.
             timers.idle = self.sim.after(idle_period, lambda: self._on_idle_expiry(sandbox))
             return
-        if self._faults is not None and not self._faults.health.registry_available():
+        registry_down = (
+            self._faults is not None and not self._faults.health.registry_available()
+        )
+        if registry_down and self.templates is None:
             # Degradation ladder (DESIGN.md §11): with a registry shard
             # down no new dedup ops are admitted; stay warm and re-ask
-            # after the next idle period.
+            # after the next idle period.  (Template parking needs no
+            # registry, so a catalog keeps the consultation open.)
             self.metrics.dedup_deferrals += 1
             timers.idle = self.sim.after(idle_period, lambda: self._on_idle_expiry(sandbox))
             return
@@ -735,6 +1070,18 @@ class ClusterController:
         if decision is Decision.KEEP_WARM:
             timers.idle = self.sim.after(idle_period, lambda: self._on_idle_expiry(sandbox))
             return
+        if decision is Decision.TEMPLATE:
+            if self._begin_templatize(sandbox):
+                return
+            # Pool full or publish retry storm: fall down one rung.
+            if registry_down:
+                # No dedup rung during the outage; stay warm and re-ask.
+                self.metrics.dedup_deferrals += 1
+                timers.idle = self.sim.after(
+                    idle_period, lambda: self._on_idle_expiry(sandbox)
+                )
+                return
+            # Fall through to the base rule and the dedup op below.
         # The D/B > T rule: a function with heavy dedup traffic gets an
         # additional base outright.
         if self.basemgr.base_count(sandbox.function) > 0 and self.basemgr.needs_new_base(
@@ -777,7 +1124,11 @@ class ClusterController:
 
     def _on_keep_dedup_expiry(self, sandbox: Sandbox) -> None:
         if sandbox.state is SandboxState.DEDUP and sandbox.busy_request_id is None:
-            if self.tiering and self._demote_table(sandbox):
+            if (
+                self.tiering
+                and not isinstance(sandbox.dedup_table, TemplateDeltaTable)
+                and self._demote_table(sandbox)
+            ):
                 # Dedup-cold: the patch table parks on SSD instead of
                 # dying; the sandbox stays restorable at SSD read cost.
                 return
@@ -798,6 +1149,10 @@ class ClusterController:
             return False
         table = sandbox.dedup_table
         assert table is not None
+        if isinstance(table, TemplateDeltaTable):
+            # Template deltas demote through the template pool
+            # (:meth:`_spill_delta`), never through the SSD tier.
+            return False
         nbytes = table.retained_full_bytes
         node_id = sandbox.node_id
         while not store.ssd_fits(node_id, nbytes):
@@ -1000,7 +1355,7 @@ class ClusterController:
             raise RuntimeError(f"sandbox {sandbox.sandbox_id} has no dedup in flight")
         timer, outcome = pending
         timer.cancel()
-        self._release_base_refs(outcome.table)
+        self._release_retained(outcome.table)
         sandbox.transition(SandboxState.WARM, self.sim.now)
 
     def _begin_dedup(self, sandbox: Sandbox) -> bool:
@@ -1038,6 +1393,7 @@ class ClusterController:
             sandbox.dedup_table = outcome.table
             sandbox.image = None
             sandbox.dedup_count += 1
+            self._end_template_sharing(sandbox)
             sandbox.transition(SandboxState.DEDUP, self.sim.now)
             self.basemgr.note_dedup(sandbox.function, +1)
             if sandbox.function in self.stats:
@@ -1068,6 +1424,96 @@ class ClusterController:
         timer = self.sim.after(outcome.timings.total_ms, finish_dedup)
         self._pending_dedups[sandbox.sandbox_id] = (timer, outcome)
         return False
+
+    def _begin_templatize(self, sandbox: Sandbox) -> bool:
+        """Kick off the (background) template park of an idle warm sandbox.
+
+        Returns False when the template path cannot proceed — the pool
+        cannot fit the missing segments even after reclaiming idle ones,
+        or the pool write's transient-RPC plan was exhausted.  Either
+        way no state was created (the agent's op is all-or-nothing), the
+        sandbox is untouched, and the caller falls back to the dedup
+        rung of the ladder.
+        """
+        self._ensure_image(sandbox)
+        agent = self.agents[sandbox.node_id]
+        try:
+            outcome = agent.templatize(sandbox)
+        except (TemplatePoolFull, RetryExhausted):
+            self.metrics.template_pool_rejections += 1
+            return False
+        self._timers_for(sandbox).cancel_all()
+        sandbox.transition(SandboxState.DEDUPING, self.sim.now)
+        started = self.sim.now
+
+        def finish_templatize() -> None:
+            self._pending_dedups.pop(sandbox.sandbox_id, None)
+            self._complete_templatize(sandbox, outcome, started)
+            self._drain_queue()  # the freed memory may admit queued work
+
+        timer = self.sim.after(outcome.duration_ms, finish_templatize)
+        self._pending_dedups[sandbox.sandbox_id] = (timer, outcome)
+        return True
+
+    def _complete_templatize(self, sandbox: Sandbox, outcome, started: float) -> None:
+        """Land a finished templatize op: attach the delta, park the
+        sandbox, record the op, and arm the keep-dedup expiry."""
+        sandbox.dedup_table = outcome.table
+        sandbox.image = None
+        sandbox.dedup_count += 1
+        self._end_template_sharing(sandbox)
+        sandbox.transition(SandboxState.DEDUP, self.sim.now)
+        # The base manager stays blind to template parks: they hold
+        # no base references, so they must not skew the D/B rule.
+        if sandbox.function in self.stats:
+            fraction = (
+                outcome.table.retained_full_bytes / sandbox.profile.memory_bytes
+            )
+            self.stats[sandbox.function].record_retained_fraction(min(1.0, fraction))
+        self.metrics.template_segments_created += outcome.segments_created
+        self.metrics.template_segments_shared += outcome.segments_shared
+        self.metrics.template_ops.append(
+            TemplateOpRecord(
+                function=sandbox.function,
+                sandbox_id=sandbox.sandbox_id,
+                started_ms=started,
+                duration_ms=outcome.duration_ms,
+                publish_ms=outcome.publish_ms,
+                segments_created=outcome.segments_created,
+                segments_shared=outcome.segments_shared,
+                published_bytes=outcome.published_bytes,
+                savings_fraction=outcome.table.savings_fraction,
+                retained_full_bytes=outcome.table.retained_full_bytes,
+            )
+        )
+        timers = self._timers_for(sandbox)
+        timers.keep_dedup = self.sim.after(
+            self.policy.keep_dedup_ms(sandbox.function),
+            lambda: self._on_keep_dedup_expiry(sandbox),
+        )
+
+    def _end_template_sharing(self, sandbox: Sandbox) -> None:
+        """Unshare a forked sandbox's copy-on-write template pages.
+
+        Called wherever the warm image stops being resident (park,
+        purge): the sandbox's charge reverts from the CoW-discounted
+        footprint, and the node's replicas become droppable again once
+        their last sharer is gone."""
+        if not sandbox.template_share_keys:
+            return
+        assert self.templates is not None
+        self.templates.drop_sharers(sandbox.template_share_keys, sandbox.node_id)
+        sandbox.template_share_keys = ()
+        sandbox.template_cow_bytes = 0
+
+    def _release_retained(self, table) -> None:
+        """Release whatever a parked table holds references to: catalog
+        segments for a template delta, base checkpoints otherwise."""
+        if isinstance(table, TemplateDeltaTable):
+            assert self.templates is not None
+            self.templates.release(table.segment_keys)
+        else:
+            self._release_base_refs(table)
 
     def _release_base_refs(self, table) -> None:
         for checkpoint_id, count in table.base_refs.items():
@@ -1203,8 +1649,12 @@ class ClusterController:
             sandbox.dedup_table = None
             sandbox.busy_request_id = None
             sandbox.transition(SandboxState.WARM, self.sim.now)
-            self._release_base_refs(table)
-            self.basemgr.note_dedup(sandbox.function, -1)
+            if isinstance(table, TemplateDeltaTable):
+                assert self.templates is not None
+                self.templates.release(table.segment_keys)
+            else:
+                self._release_base_refs(table)
+                self.basemgr.note_dedup(sandbox.function, -1)
         elif sandbox.state is SandboxState.RUNNING:
             sandbox.busy_request_id = None
             sandbox.transition(SandboxState.WARM, self.sim.now)
@@ -1237,6 +1687,13 @@ class ClusterController:
             for sandbox in list(node.sandboxes.values()):
                 self._crash_purge(sandbox)
                 self.metrics.crash_purged_sandboxes += 1
+            if self.templates is not None:
+                # The node's template replicas died with its DRAM; the
+                # pool copies are remote and survive, so every parked
+                # delta stays forkable — the next fork on a surviving
+                # node just pays the promote read again.
+                for segment in self.templates.drop_replicas(node_id):
+                    node.unpin_template(segment.segment_id)
             dead = {
                 checkpoint.checkpoint_id: checkpoint
                 for checkpoint in list(self.store)
@@ -1265,7 +1722,11 @@ class ClusterController:
             for sandbox in list(sandboxes.values()):
                 if sandbox.state is SandboxState.DEDUPING:
                     pending = self._pending_dedups.get(sandbox.sandbox_id)
-                    if pending is not None and dead_ids & set(pending[1].table.base_refs):
+                    if (
+                        pending is not None
+                        and not isinstance(pending[1].table, TemplateDeltaTable)
+                        and dead_ids & set(pending[1].table.base_refs)
+                    ):
                         # The op's output would reference dead bases;
                         # abort it (the warm image never went away).
                         self._abort_dedup(sandbox)
@@ -1278,6 +1739,10 @@ class ClusterController:
                 elif sandbox.state is SandboxState.DEDUP:
                     table = sandbox.dedup_table
                     assert table is not None
+                    if isinstance(table, TemplateDeltaTable):
+                        # Template segments live in the remote-DRAM pool:
+                        # no node's crash can strand a parked delta.
+                        continue
                     lost = sum(
                         count
                         for cid, count in table.base_refs.items()
@@ -1317,19 +1782,32 @@ class ClusterController:
             # on a purged sandbox and the base checkpoints can retire.
             timer, outcome = pending
             timer.cancel()
-            self._release_base_refs(outcome.table)
+            self._release_retained(outcome.table)
             if sandbox.state is SandboxState.DEDUPING:
                 # Figure 4b has no DEDUPING -> PURGED edge; the aborted
                 # op leaves the warm image intact, so exit via WARM.
                 sandbox.transition(SandboxState.WARM, self.sim.now)
         if sandbox.state is SandboxState.DEDUP:
             assert sandbox.dedup_table is not None
-            self._release_base_refs(sandbox.dedup_table)
-            self.basemgr.note_dedup(sandbox.function, -1)
-            if self.tiering:
-                assert self.tiered_store is not None
-                self.tiered_store.release_table(sandbox.sandbox_id)
-                self._cold.pop(sandbox.sandbox_id, None)
+            if isinstance(sandbox.dedup_table, TemplateDeltaTable):
+                assert self.templates is not None
+                if sandbox.table_tier is not None:
+                    # A spilled delta dies with its sandbox (and its
+                    # node): release the SSD bytes it held.
+                    self._delta_ssd_account(sandbox.node_id).release(
+                        sandbox.dedup_table.retained_full_bytes
+                    )
+                    self._spilled.pop(sandbox.sandbox_id, None)
+                    sandbox.table_tier = None
+                self.templates.release(sandbox.dedup_table.segment_keys)
+            else:
+                self._release_base_refs(sandbox.dedup_table)
+                self.basemgr.note_dedup(sandbox.function, -1)
+                if self.tiering:
+                    assert self.tiered_store is not None
+                    self.tiered_store.release_table(sandbox.sandbox_id)
+                    self._cold.pop(sandbox.sandbox_id, None)
+        self._end_template_sharing(sandbox)
         sandbox.transition(SandboxState.PURGED, self.sim.now)
         sandbox.dedup_table = None
         sandbox.image = None

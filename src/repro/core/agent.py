@@ -66,6 +66,12 @@ from repro.sim.network import RdmaFabric
 from repro.storage.prefetch import WorkingSetRecorder
 from repro.storage.store import TieredCheckpointStore
 from repro.storage.tiers import StorageTier
+from repro.templates.catalog import TemplateCatalog
+from repro.templates.delta import (
+    TemplateDeltaTable,
+    build_delta_table,
+    reconstruct_image,
+)
 
 if TYPE_CHECKING:
     from repro.parallel.config import ParallelConfig
@@ -291,6 +297,51 @@ class RestoreOutcome:
     timings: RestoreTimings
 
 
+@dataclass(frozen=True)
+class TemplatizeOutcome:
+    """Result of parking a sandbox as a template delta (DESIGN.md §14)."""
+
+    table: TemplateDeltaTable
+    duration_ms: float
+    publish_ms: float
+    """Charged pool write for newly published segments (0.0 on hits)."""
+    segments_created: int
+    segments_shared: int
+    """Shareable regions served by already-published segments."""
+    published_bytes: int
+    retry_ms: float = 0.0
+    retries: int = 0
+
+
+@dataclass(frozen=True)
+class ForkTimings:
+    """Phase durations of one template fork (full-scale ms)."""
+
+    promote_ms: float
+    """Pool read materializing missing node replicas (0.0 once warm)."""
+    apply_ms: float
+    """Delta application over the replicas (patches + literal pages)."""
+    restore_ms: float
+    """Checkpoint resume (same fixed cost as a dedup restore)."""
+    retry_ms: float = 0.0
+    """Transient-RPC timeout/backoff latency on the promote read."""
+    retries: int = 0
+
+    @property
+    def total_ms(self) -> float:
+        return self.promote_ms + self.apply_ms + self.restore_ms + self.retry_ms
+
+
+@dataclass(frozen=True)
+class ForkOutcome:
+    image: MemoryImage
+    timings: ForkTimings
+    promoted: tuple
+    """Segments whose replica this fork created on the node (the
+    controller pins their DRAM charge)."""
+    promoted_bytes: int
+
+
 class DedupAgent:
     """The dedup/restore executor of one node."""
 
@@ -313,6 +364,7 @@ class DedupAgent:
         parallel: "ParallelConfig | None" = None,
         overlap_costs: "ParallelConfig | None" = None,
         transients: TransientFaults | None = None,
+        templates: TemplateCatalog | None = None,
     ):
         if not 0 < content_scale <= 1:
             raise ValueError("content_scale must be in (0, 1]")
@@ -345,9 +397,14 @@ class DedupAgent:
         latency into the op's timings, and surface
         :class:`RegistryUnavailable` / :class:`RetryExhausted` when
         every attempt fails."""
+        self.templates = templates
+        """Cluster-wide template catalog (DESIGN.md §14; None unless
+        ``template_sharing`` is on)."""
         self._plane: "DataPlane | None" = None
         self.dedup_ops = 0
         self.restore_ops = 0
+        self.templatize_ops = 0
+        self.fork_ops = 0
         # Decoded base pages keyed by (checkpoint_id, page_index).
         # Checkpoint ids are never reused, so a retired checkpoint's
         # entries can only waste capacity until LRU evicts them — they
@@ -802,6 +859,130 @@ class DedupAgent:
                     original, dtype=np.uint8
                 )
         return data
+
+    # ---------------------------------------------------- template forks
+
+    def templatize(self, sandbox: Sandbox) -> TemplatizeOutcome:
+        """Park a warm sandbox as a delta against shared template segments.
+
+        Ensures the catalog holds a segment per shareable RUNTIME/LIBRARY
+        region (publishing missing ones to the remote-DRAM pool — one
+        charged write, all-or-nothing), factors the image into segment
+        patches plus private pages, and acquires a catalog reference per
+        segment.  No registry traffic, no fingerprinting, no base-page
+        fetches: the segments *are* the bases.
+
+        Raises :class:`repro.templates.catalog.TemplatePoolFull` (pool
+        cannot fit the new segments) or :class:`RetryExhausted` (pool
+        write's transient-RPC plan failed) *before* any state is created;
+        the controller then falls back to the dedup path.
+        """
+        catalog = self.templates
+        if catalog is None:
+            raise RuntimeError("agent has no template catalog")
+        image = sandbox.image
+        if image is None:
+            raise RuntimeError(
+                f"sandbox {sandbox.sandbox_id} has no image to templatize"
+            )
+        # Resolve the pool write's transient-fault plan BEFORE publishing
+        # anything: an exhausted op must leave no state behind.
+        retry_ms = 0.0
+        retries = 0
+        if self.transients is not None:
+            plan = self.transients.plan("template-publish")
+            if not plan.succeeded:
+                raise RetryExhausted("template-publish", plan.attempts, plan.charged_ms)
+            retry_ms = plan.charged_ms
+            retries = plan.attempts
+
+        segments, created, publish_ms = catalog.ensure_segments(image.regions)
+        table = build_delta_table(
+            image,
+            {segment.key: segment.content for segment in segments},
+            content_scale=self.content_scale,
+            full_size_bytes=sandbox.profile.memory_bytes,
+            level=catalog.config.patch_level,
+        )
+        catalog.acquire(table.segment_keys)
+
+        full_pages = self._full_pages(image.num_pages)
+        scale_up = full_pages / max(1, image.num_pages)
+        duration_ms = (
+            self.costs.checkpoint_ms(full_pages)
+            + self.costs.patch_compute_ms(
+                max(1, round(table.patched_pages * scale_up))
+            )
+            + publish_ms
+            + retry_ms
+        )
+        self.templatize_ops += 1
+        return TemplatizeOutcome(
+            table=table,
+            duration_ms=duration_ms,
+            publish_ms=publish_ms,
+            segments_created=len(created),
+            segments_shared=len(segments) - len(created),
+            published_bytes=sum(segment.full_bytes for segment in created),
+            retry_ms=retry_ms,
+            retries=retries,
+        )
+
+    def fork_restore(
+        self, table: TemplateDeltaTable, *, now: float, verify: bool = False
+    ) -> ForkOutcome:
+        """Fork a parked template sandbox back to a byte-exact image.
+
+        Promotes any segment the node lacks a replica of (one batched
+        pool read — the charged promote of a template's first local
+        fork; later forks on the node move no bytes), applies the delta
+        over the replicas, and resumes the checkpoint.  Does *not*
+        release the table's catalog references — the controller does
+        that once the sandbox is warm again.
+        """
+        catalog = self.templates
+        if catalog is None:
+            raise RuntimeError("agent has no template catalog")
+        keys = table.segment_keys
+        # Forks served entirely from local replicas involve no RPC and
+        # never fail transiently; a promote is a remote-pool read and
+        # resolves its retry plan before any side effects.
+        retry_ms = 0.0
+        retries = 0
+        if self.transients is not None and catalog.missing_on(self.node_id, keys):
+            plan = self.transients.plan("template-fork")
+            if not plan.succeeded:
+                raise RetryExhausted("template-fork", plan.attempts, plan.charged_ms)
+            retry_ms = plan.charged_ms
+            retries = plan.attempts
+
+        promoted, promoted_bytes, promote_ms = catalog.promote(
+            self.node_id, keys, now
+        )
+        image = reconstruct_image(
+            table,
+            {segment.key: segment.content for segment in catalog.segments_for(keys)},
+            verify=verify,
+        )
+
+        full_pages = self._full_pages(table.num_pages)
+        scale_up = full_pages / max(1, table.num_pages)
+        timings = ForkTimings(
+            promote_ms=promote_ms,
+            apply_ms=self.costs.patch_apply_ms(
+                max(1, round(table.patched_pages * scale_up))
+            ),
+            restore_ms=self.costs.restore_fixed_ms,
+            retry_ms=retry_ms,
+            retries=retries,
+        )
+        self.fork_ops += 1
+        return ForkOutcome(
+            image=image,
+            timings=timings,
+            promoted=tuple(promoted),
+            promoted_bytes=promoted_bytes,
+        )
 
     # ------------------------------------------------------ tiered reads
 

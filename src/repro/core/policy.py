@@ -40,6 +40,11 @@ class Decision(enum.Enum):
 
     KEEP_WARM = "keep-warm"
     DEDUP = "dedup"
+    TEMPLATE = "template"
+    """Park as a per-function delta against shared template segments
+    (DESIGN.md §14) — only issued when the cluster view advertises a
+    template catalog; restores are template forks instead of base
+    fetches."""
 
 
 @dataclass
@@ -125,6 +130,10 @@ class ClusterView:
     """False while a fingerprint-registry shard is down: the fleet
     degrades to warm/cold-only and no new dedup ops are admitted
     (DESIGN.md §11)."""
+    templates_available: bool = False
+    """True when template sharing is on and the catalog can serve this
+    cluster: idle consultations that would dedup park as template deltas
+    instead (restore = fork + delta apply, no registry or base fetch)."""
 
     @property
     def free_fraction(self) -> float:
@@ -243,9 +252,11 @@ class MedesPolicy:
 
     def decide_idle(self, function: str, view: ClusterView) -> Decision:
         """Compare the live dedup count with the optimizer's D*."""
-        if not view.registry_available:
+        if not view.registry_available and not view.templates_available:
             # Registry outage: a dedup op could neither look up bases
             # nor register state — degrade to keep-warm until it heals.
+            # (Template parking needs no registry, so a catalog keeps
+            # the park path open through the outage.)
             return Decision.KEEP_WARM
         stats = self.stats[function]
         total = view.live_counts.get(function, 0)
@@ -267,5 +278,9 @@ class MedesPolicy:
             decision = Decision.DEDUP
         else:
             decision = Decision.KEEP_WARM
+        if decision is Decision.DEDUP and view.templates_available:
+            # A resident template serves the same parked role at a far
+            # cheaper restore (fork + delta, no base fetch) — prefer it.
+            decision = Decision.TEMPLATE
         self.decisions.append((view.now, function, decision, solution.feasible))
         return decision

@@ -113,6 +113,29 @@ def _pointer_values(content_key: str, count: int, *, aslr: bool, instance_seed: 
     return randomized
 
 
+def template_region_content(spec: RegionSpec, size: int) -> np.ndarray:
+    """Instance-independent template bytes for a shared region.
+
+    Base content plus the *shared* (non-ASLR) pointer values — the state
+    every instance starts from before dirty pages, mutations or ASLR
+    individualize it.  This is what the template catalog publishes for
+    RUNTIME/LIBRARY regions: identical for every function that places the
+    same ``(content_key, size)`` region, so one pool copy serves forks of
+    all of them; per-instance divergence is carried by each sandbox's
+    delta patch against these bytes.
+    """
+    data = np.array(base_region_content(spec, size), dtype=np.uint8, copy=True)
+    positions = _pointer_positions(spec.content_key, spec.pointer_interval, size)
+    if positions.size:
+        values = _pointer_values(
+            spec.content_key, len(positions), aslr=False, instance_seed=0
+        )
+        idx = positions[:, None] + np.arange(POINTER_SIZE)[None, :]
+        data[idx.reshape(-1)] = values.reshape(-1)
+    data.setflags(write=False)
+    return data
+
+
 def _dirty_page_content(nbytes: int, rng: np.random.Generator) -> np.ndarray:
     """Instance-private content of a rewritten page.
 

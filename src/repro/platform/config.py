@@ -13,6 +13,7 @@ from repro.parallel.config import ParallelConfig
 from repro.sandbox.node import EvictionOrder
 from repro.sim.network import RdmaConfig
 from repro.storage.tiers import StorageConfig
+from repro.templates.catalog import TemplateConfig
 from repro.workload.functionbench import FunctionProfile
 
 
@@ -121,6 +122,16 @@ class ClusterConfig:
     parallel: ParallelConfig = field(default_factory=ParallelConfig)
     """Shape of the parallel data plane (only read when
     ``parallel_data_plane`` is on)."""
+    template_sharing: bool = False
+    """Forkable template checkpoints (DESIGN.md §14): factor shared
+    RUNTIME/LIBRARY regions into cross-function template segments in a
+    remote-DRAM pool and park idle sandboxes as per-function deltas, so
+    a restore is template fork + delta apply — the TEMPLATE start type
+    between WARM and DEDUP.  Off (the default) reproduces the dedup-only
+    behaviour bit-identically."""
+    templates: TemplateConfig = field(default_factory=TemplateConfig)
+    """Shape of the template subsystem (only read when
+    ``template_sharing`` is on)."""
     faults: FaultsConfig | None = None
     """Fault injection and recovery (DESIGN.md §11): a seeded
     :class:`~repro.faults.schedule.FaultSchedule` of node crashes,

@@ -25,6 +25,21 @@ class StartType(enum.Enum):
     COLD = "cold"
     WARM = "warm"
     DEDUP = "dedup"
+    TEMPLATE = "template"
+    """Forked from a shared runtime/library template plus a per-function
+    delta (DESIGN.md §14) — between WARM and DEDUP on the start ladder."""
+
+
+#: Integer codes for the array-backed completion timeline (a request
+#: that never started — crash-displaced and re-queued records mid-run —
+#: carries ``None`` and is coded ``-1``).
+START_CODES: dict[StartType | None, int] = {
+    None: -1,
+    StartType.COLD: 0,
+    StartType.WARM: 1,
+    StartType.DEDUP: 2,
+    StartType.TEMPLATE: 3,
+}
 
 
 @dataclass(slots=True)
@@ -150,6 +165,88 @@ class RestoreOpRecord:
         else:
             fetch = self.base_read_ms + compute_ms
         return fetch + self.restore_ms + self.promote_ms + self.retry_ms
+
+
+@dataclass(frozen=True)
+class TemplateOpRecord:
+    """One templatize op: shared-segment publish + delta construction.
+
+    The template analogue of :class:`DedupOpRecord` — an idle sandbox is
+    parked as a per-function delta against the catalog's shared
+    runtime/library segments instead of a patch table against a base.
+    """
+
+    function: str
+    sandbox_id: int
+    started_ms: float
+    duration_ms: float
+    publish_ms: float
+    """Remote-DRAM pool write for segments this op created (0 when every
+    segment was already published by an earlier templatize)."""
+    segments_created: int
+    segments_shared: int
+    """Segments reused from the catalog (the cross-function hit count)."""
+    published_bytes: int
+    savings_fraction: float
+    retained_full_bytes: int
+
+
+@dataclass(frozen=True)
+class TemplateForkRecord:
+    """One template fork (TEMPLATE start): promote + delta apply."""
+
+    function: str
+    sandbox_id: int
+    started_ms: float
+    promote_ms: float
+    """Charged remote-DRAM → node-DRAM promotion of segments forked on
+    this node for the first time (0 once replicas are warm)."""
+    apply_ms: float
+    restore_ms: float
+    promoted_bytes: int
+    patched_pages: int
+    unique_pages: int
+    zero_pages: int
+    retry_ms: float = 0.0
+    """Transient-RPC timeout/backoff latency charged to the op (faults)."""
+    retries: int = 0
+    cow_shared_bytes: int = 0
+    """Clean template pages the forked sandbox maps copy-on-write from
+    the node's replicas — discounted from its warm DRAM charge."""
+
+    @property
+    def total_ms(self) -> float:
+        return self.promote_ms + self.apply_ms + self.restore_ms + self.retry_ms
+
+
+@dataclass(frozen=True, slots=True)
+class TemplateSample:
+    """Template catalog occupancy at one sampling instant."""
+
+    time_ms: float
+    pool_used_bytes: int
+    """Remote-DRAM template pool occupancy (authoritative copies)."""
+    replica_bytes: int
+    """Node-DRAM template replicas across the cluster (fork caches)."""
+    segments: int
+    live_deltas: int
+    """Parked sandboxes currently holding a template delta table."""
+
+
+@dataclass(frozen=True, slots=True)
+class CompletionSample:
+    """One completed request, array-backed for vectorized percentiles.
+
+    Appended by :meth:`RunMetrics.on_completion`; ``start_code`` is the
+    :data:`START_CODES` integer so per-start-type latency percentiles are
+    one numpy mask instead of a scan over millions of records.
+    """
+
+    time_ms: float
+    start_code: int
+    queued_ms: float
+    startup_ms: float
+    e2e_ms: float
 
 
 @dataclass(frozen=True, slots=True)
@@ -393,6 +490,52 @@ class RunMetrics:
     shard_rebuild_ms: float = 0.0
     """Charged time rebuilding lost registry shards from surviving
     agents' base checkpoints."""
+    completion_timeline: ColumnTimeline = field(
+        default_factory=lambda: ColumnTimeline(CompletionSample)
+    )
+    """Array-backed per-completion latencies, fed by :meth:`on_completion`
+    (the vectorized reader behind :meth:`latency_percentile`)."""
+    template_ops: list[TemplateOpRecord] = field(default_factory=list)
+    """Templatize ops (empty unless template sharing is on)."""
+    template_forks: list[TemplateForkRecord] = field(default_factory=list)
+    """Template fork restores (empty unless template sharing is on)."""
+    template_timeline: ColumnTimeline = field(
+        default_factory=lambda: ColumnTimeline(TemplateSample)
+    )
+    """Sampled template catalog occupancy (empty unless template sharing)."""
+    template_segments_created: int = 0
+    """Distinct (content, size) template segments published to the pool."""
+    template_segments_shared: int = 0
+    """Segment reuses across templatize ops — each is a whole shared
+    region that needed no publish because another function (or an earlier
+    sandbox) already put it in the pool."""
+    template_promotions: int = 0
+    """Charged pool → node-DRAM segment promotions (first fork per node)."""
+    template_promote_bytes: int = 0
+    template_replica_evictions: int = 0
+    """Node-DRAM template replicas dropped under placement pressure (the
+    pool copy survives, so this never loses content)."""
+    template_fork_fallbacks: int = 0
+    """Dispatches where a template fork failed (transient faults) and the
+    request fell through to the dedup/cold rungs."""
+    template_pool_rejections: int = 0
+    """Templatize attempts refused because the remote-DRAM pool was full
+    (the sandbox fell back to the dedup path)."""
+    template_evict_parks: int = 0
+    """Warm eviction victims parked as template deltas instead of purged
+    (park-before-purge): their next start is a fork, not a cold start."""
+    template_delta_spills: int = 0
+    """Parked deltas demoted to node-local SSD ("template-cold")
+    instead of purged: node DRAM frees fully, the sandbox stays
+    fork-restorable at the charged SSD-read cost.  Node-local, like
+    §9's dedup-cold tables — only shared template *segments* get
+    remote-DRAM durability; a spilled delta dies with its node."""
+    template_delta_spill_bytes: int = 0
+    """SSD bytes written by those spills (node-local, never crosses the
+    fabric)."""
+    template_delta_unspill_bytes: int = 0
+    """SSD bytes read back by forks of spilled sandboxes (the charged
+    leg on the start path)."""
 
     # -------------------------------------------------------------- record
 
@@ -408,6 +551,13 @@ class RunMetrics:
             raise RuntimeError(f"request {record.request_id} completed twice")
         record.completion_ms = now
         self.outstanding_requests -= 1
+        self.completion_timeline.append_row(
+            now,
+            START_CODES[record.start_type],
+            record.queued_ms,
+            record.startup_ms,
+            now - record.arrival_ms,
+        )
 
     def completed_records(self) -> list[RequestRecord]:
         return [r for r in self.requests.values() if r.completion_ms is not None]
@@ -417,6 +567,12 @@ class RunMetrics:
     def start_counts(self, function: str | None = None) -> Counter[StartType]:
         counts: Counter[StartType] = Counter()
         for record in self.completed_records():
+            if record.start_type is None:
+                # Completed without ever dispatching (e.g. displaced by a
+                # node crash and re-queued): there is no start to count,
+                # and a None key would poison every ``Counter[StartType]``
+                # consumer downstream (report sorting crashes on it).
+                continue
             if function is None or record.function == function:
                 counts[record.start_type] += 1
         return counts
@@ -445,6 +601,30 @@ class RunMetrics:
             for r in self.completed_records()
             if function is None or r.function == function
         ]
+        return percentile(values, pct)
+
+    def latency_percentile(
+        self,
+        pct: float,
+        *,
+        start_type: StartType | None = None,
+        metric: str = "e2e",
+    ) -> float:
+        """Latency percentile over completed requests, vectorized.
+
+        Reads the array-backed completion timeline instead of scanning
+        request records; ``start_type`` restricts to one rung of the
+        start ladder (``None`` keeps every completed request, matching
+        :meth:`e2e_percentile`).  ``metric`` selects ``"e2e"``,
+        ``"startup"`` or ``"queued"``.  Returns ``nan`` when no request
+        of that start type completed.
+        """
+        if metric not in ("e2e", "startup", "queued"):
+            raise ValueError(f"unknown latency metric {metric!r}")
+        values = self.completion_timeline.column(f"{metric}_ms")
+        if start_type is not None:
+            codes = self.completion_timeline.column("start_code")
+            values = values[codes == START_CODES[start_type]]
         return percentile(values, pct)
 
     def mean_memory_bytes(self) -> float:

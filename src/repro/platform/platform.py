@@ -30,6 +30,7 @@ from repro.sim.network import RdmaFabric
 from repro.storage.prefetch import WorkingSetRecorder
 from repro.storage.store import TieredCheckpointStore
 from repro.storage.tiers import StorageTier
+from repro.templates.catalog import TemplateCatalog
 from repro.workload.functionbench import FunctionBenchSuite
 from repro.workload.trace import Trace
 
@@ -126,6 +127,15 @@ class Platform:
             )
         else:
             self.faults = None
+        self.templates: TemplateCatalog | None = (
+            TemplateCatalog(
+                config.templates,
+                config.storage,
+                content_scale=config.content_scale,
+            )
+            if config.template_sharing
+            else None
+        )
         self.nodes = [
             Node(
                 node_id=i,
@@ -148,6 +158,7 @@ class Platform:
                 recorder=self.recorder,
                 overlap_costs=config.parallel if config.parallel_data_plane else None,
                 transients=self.faults.transients if self.faults is not None else None,
+                templates=self.templates,
             )
             for node in self.nodes
         }
@@ -164,6 +175,7 @@ class Platform:
             basemgr=self.basemgr,
             stats=stats,
             faults=self.faults,
+            templates=self.templates,
         )
         self.injector: FaultInjector | None = (
             FaultInjector(
@@ -235,6 +247,14 @@ class Platform:
                 occupancy[StorageTier.REMOTE_DRAM],
                 occupancy[StorageTier.LOCAL_SSD],
                 self.controller.cold_parked_tables,
+            )
+        if self.templates is not None:
+            self.metrics.template_timeline.append_row(
+                self.sim.now,
+                self.templates.pool.used_bytes,
+                self.templates.replica_bytes(),
+                len(self.templates),
+                self.templates.live_deltas,
             )
 
     def _inject_arrivals(self, trace: Trace) -> None:

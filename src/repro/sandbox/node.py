@@ -108,6 +108,9 @@ class Node:
     _used: int = field(default=0, repr=False)
     _sandbox_charges: dict[int, int] = field(default_factory=dict, repr=False)
     _checkpoint_charges: dict[int, int] = field(default_factory=dict, repr=False)
+    _template_charges: dict[int, int] = field(default_factory=dict, repr=False)
+    """Full-scale DRAM charge per resident template-segment replica,
+    keyed by segment id (empty unless template sharing is on)."""
 
     # -------------------------------------------------------- accounting
 
@@ -128,6 +131,7 @@ class Node:
         """The O(residents) sum the counter must always agree with."""
         total = sum(sandbox.memory_bytes() for sandbox in self.sandboxes.values())
         total += sum(checkpoint.memory_bytes() for checkpoint in self.checkpoints.values())
+        total += sum(self._template_charges.values())
         return total
 
     def free_bytes(self) -> int:
@@ -202,6 +206,29 @@ class Node:
             raise KeyError(f"checkpoint {checkpoint_id} not on node {self.node_id}") from None
         self._apply_delta(-self._checkpoint_charges.pop(checkpoint_id))
         return checkpoint
+
+    def pin_template(self, segment_id: int, nbytes: int) -> None:
+        """Charge a template-segment replica promoted onto this node.
+
+        Replicas are fork caches: the authoritative copy stays in the
+        remote-DRAM pool, so unpinning never loses content."""
+        if segment_id in self._template_charges:
+            raise ValueError(f"template segment {segment_id} already on node {self.node_id}")
+        self._template_charges[segment_id] = nbytes
+        self._apply_delta(nbytes)
+
+    def unpin_template(self, segment_id: int) -> None:
+        try:
+            charge = self._template_charges.pop(segment_id)
+        except KeyError:
+            raise KeyError(
+                f"template segment {segment_id} not on node {self.node_id}"
+            ) from None
+        self._apply_delta(-charge)
+
+    def template_replica_bytes(self) -> int:
+        """Total DRAM charged to template replicas on this node."""
+        return sum(self._template_charges.values())
 
     def recharge_sandbox(self, sandbox_id: int) -> None:
         """Re-account a resident sandbox whose charge changed *without*

@@ -57,6 +57,13 @@ class Sandbox:
     table_tier: StorageTier | None = None
     """Residency of the dedup page table when off node DRAM (the
     "dedup-cold" state, checkpoint tiering only); ``None`` means DRAM."""
+    template_cow_bytes: int = 0
+    """Full-scale bytes a template-forked sandbox shares copy-on-write
+    with its node's template replicas — unwritten template pages, the
+    TrEnv fork model.  Discounted from the warm charge while the share
+    lasts (template sharing only; zero otherwise)."""
+    template_share_keys: tuple = ()
+    """Catalog keys of the shared segments (for releasing the share)."""
     served_requests: int = 0
     dedup_count: int = 0
     observers: list[TransitionObserver] = field(default_factory=list, compare=False)
@@ -116,7 +123,10 @@ class Sandbox:
             return 0
         full = self.profile.memory_bytes
         if self.state in FULL_FOOTPRINT_STATES:
-            return full
+            # A template-forked sandbox maps its clean template pages
+            # from the node's replicas (copy-on-write), so it is charged
+            # only for what it actually owns.
+            return full - self.template_cow_bytes
         if self.dedup_table is None:
             raise RuntimeError(f"sandbox {self.sandbox_id} in {self.state} without dedup table")
         retained = self.dedup_table.retained_full_bytes

@@ -41,6 +41,42 @@ class TierMove:
     """Full-scale bytes moved."""
 
 
+class TemplatePool:
+    """The remote-DRAM slice backing template segments (DESIGN.md §14).
+
+    A dedicated :class:`TierAccount` over the far-memory pool, separate
+    from the checkpoint store's so template capacity is planned
+    independently of demoted checkpoints.  Like everything REMOTE_DRAM it
+    has no single node's failure domain: pool copies survive node
+    crashes, and node-DRAM replicas are pure caches re-promotable from
+    here at the charged read cost.
+    """
+
+    def __init__(self, config: StorageConfig, *, capacity_bytes: int) -> None:
+        self.config = config
+        self.account = TierAccount(capacity_bytes)
+
+    def fits(self, nbytes: int) -> bool:
+        return self.account.fits(nbytes)
+
+    def publish_ms(self, nbytes: int) -> float:
+        """Charge ``nbytes`` into the pool; returns the fabric write cost."""
+        self.account.charge(nbytes)
+        return self.config.remote_dram_write_ms(nbytes)
+
+    def withdraw(self, nbytes: int) -> None:
+        """Release ``nbytes`` (a segment retired by the catalog)."""
+        self.account.release(nbytes)
+
+    def read_ms(self, nbytes: int) -> float:
+        """One batched promote-read of ``nbytes`` out of the pool."""
+        return self.config.remote_dram_read_ms(nbytes)
+
+    @property
+    def used_bytes(self) -> int:
+        return self.account.used_bytes
+
+
 class TieredCheckpointStore(CheckpointStore):
     """A :class:`CheckpointStore` whose checkpoints (and parked dedup
     patch tables) have residency tiers with bounded capacities."""

@@ -1,0 +1,31 @@
+"""Forkable template checkpoints (DESIGN.md §14).
+
+Factors the region model's shared RUNTIME/LIBRARY segments into
+per-runtime template checkpoints that many functions fork from: a
+restore becomes *template fork + per-function delta* instead of full
+base fetch + patch — the TEMPLATE start type between WARM and DEDUP.
+"""
+
+from repro.templates.catalog import (
+    TemplateCatalog,
+    TemplateConfig,
+    TemplatePoolFull,
+    TemplateSegment,
+)
+from repro.templates.delta import (
+    SharedSpan,
+    TemplateDeltaTable,
+    build_delta_table,
+    reconstruct_image,
+)
+
+__all__ = [
+    "SharedSpan",
+    "TemplateCatalog",
+    "TemplateConfig",
+    "TemplateDeltaTable",
+    "TemplatePoolFull",
+    "TemplateSegment",
+    "build_delta_table",
+    "reconstruct_image",
+]

@@ -252,6 +252,97 @@ class TestMttr:
         assert metrics.mttr_ms() == 0.0
 
 
+def finished(metrics: RunMetrics, request_id: int, function: str, *,
+             arrival: float, e2e: float, start: StartType | None,
+             queued: float = 0.0, startup: float = 0.0) -> RequestRecord:
+    """Complete a request through ``on_completion`` so it lands in the
+    completion timeline (unlike :func:`completed`, which bypasses it)."""
+    record = metrics.on_arrival(request_id, function, arrival)
+    record.start_type = start
+    record.queued_ms = queued
+    record.startup_ms = startup
+    record.exec_ms = e2e / 2
+    metrics.on_completion(record, arrival + e2e)
+    return record
+
+
+class TestStartCountsSkipNoneStarts:
+    """Regression: a request completed without ever dispatching (e.g.
+    displaced by a node crash and re-queued) has ``start_type=None``;
+    counting it under a ``None`` key poisoned every ``Counter[StartType]``
+    consumer (``RunReport.summary`` sorts counts by ``t.value``)."""
+
+    def test_none_start_type_not_counted(self):
+        metrics = RunMetrics(platform_name="test")
+        finished(metrics, 0, "a", arrival=0.0, e2e=10.0, start=StartType.COLD)
+        finished(metrics, 1, "a", arrival=1.0, e2e=10.0, start=None)
+        counts = metrics.start_counts()
+        assert None not in counts
+        assert counts[StartType.COLD] == 1
+        assert sum(counts.values()) == 1
+        # The summary-style sort the None key used to crash.
+        assert sorted(counts, key=lambda t: t.value) == [StartType.COLD]
+
+    def test_none_start_still_a_completed_record(self):
+        metrics = RunMetrics(platform_name="test")
+        finished(metrics, 0, "a", arrival=0.0, e2e=10.0, start=None)
+        assert len(metrics.completed_records()) == 1
+        assert metrics.cold_starts() == 0
+
+
+class TestLatencyPercentile:
+    @pytest.fixture
+    def metrics(self) -> RunMetrics:
+        metrics = RunMetrics(platform_name="test")
+        finished(metrics, 0, "a", arrival=0.0, e2e=100.0,
+                 start=StartType.COLD, queued=5.0, startup=80.0)
+        finished(metrics, 1, "a", arrival=10.0, e2e=20.0,
+                 start=StartType.WARM, queued=1.0, startup=0.0)
+        finished(metrics, 2, "b", arrival=20.0, e2e=500.0,
+                 start=StartType.COLD, queued=9.0, startup=400.0)
+        finished(metrics, 3, "b", arrival=30.0, e2e=50.0,
+                 start=StartType.DEDUP, queued=2.0, startup=30.0)
+        finished(metrics, 4, "b", arrival=40.0, e2e=40.0,
+                 start=StartType.TEMPLATE, queued=2.0, startup=20.0)
+        return metrics
+
+    def test_unfiltered_matches_e2e_percentile(self, metrics):
+        for pct in (0, 50, 100):
+            assert metrics.latency_percentile(pct) == metrics.e2e_percentile(pct)
+
+    def test_filter_by_start_type(self, metrics):
+        assert metrics.latency_percentile(0, start_type=StartType.COLD) == 100.0
+        assert metrics.latency_percentile(100, start_type=StartType.COLD) == 500.0
+        assert metrics.latency_percentile(50, start_type=StartType.WARM) == 20.0
+        assert metrics.latency_percentile(50, start_type=StartType.TEMPLATE) == 40.0
+
+    def test_metric_selection(self, metrics):
+        assert metrics.latency_percentile(
+            100, start_type=StartType.COLD, metric="startup"
+        ) == 400.0
+        assert metrics.latency_percentile(
+            0, start_type=StartType.COLD, metric="queued"
+        ) == 5.0
+
+    def test_empty_selection_is_nan(self):
+        fresh = RunMetrics(platform_name="empty")
+        assert math.isnan(fresh.latency_percentile(50))
+        finished(fresh, 0, "a", arrival=0.0, e2e=10.0, start=StartType.COLD)
+        # No template-started requests completed in this run.
+        assert math.isnan(fresh.latency_percentile(50, start_type=StartType.TEMPLATE))
+
+    def test_unknown_metric_rejected(self, metrics):
+        with pytest.raises(ValueError, match="unknown latency metric"):
+            metrics.latency_percentile(50, metric="bogus")
+
+    def test_incomplete_requests_not_in_timeline(self):
+        metrics = RunMetrics(platform_name="test")
+        metrics.on_arrival(0, "a", 0.0)  # never completes
+        finished(metrics, 1, "a", arrival=1.0, e2e=30.0, start=StartType.WARM)
+        assert len(metrics.completion_timeline) == 1
+        assert metrics.latency_percentile(50) == 30.0
+
+
 class TestImprovementFactors:
     def test_pairing_by_request_id(self):
         baseline = RunMetrics(platform_name="base")
