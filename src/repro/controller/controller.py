@@ -170,6 +170,29 @@ class ClusterController:
         # event per queued request.
         self._starvation_deadlines: deque[float] = deque()
         self._starvation_timer: Timer | None = None
+        # Tenancy (DESIGN.md §15): tenant label and dedup domain per
+        # function, learned from each function's first request.  A
+        # function belongs to exactly one tenant — sandboxes are
+        # per-function, so a function served for two tenants would
+        # itself merge their memory; submit() enforces the invariant.
+        self._tenant_of: dict[str, str] = {}
+        self._function_domain: dict[str, str] = {}
+
+    def _domain_for(self, function: str, tenant: str) -> str:
+        """Learn/validate the function's tenant; return its dedup domain."""
+        known = self._tenant_of.setdefault(function, tenant)
+        if known != tenant:
+            raise ValueError(
+                f"function {function!r} belongs to tenant {known!r}; "
+                f"got a request labelled {tenant!r}"
+            )
+        try:
+            return self._function_domain[function]
+        except KeyError:
+            domain = self._function_domain[function] = (
+                self.config.dedup_domains.domain_of(tenant)
+            )
+            return domain
 
     # ------------------------------------------------------------ helpers
 
@@ -282,6 +305,7 @@ class ClusterController:
     def submit(self, request: Request) -> None:
         """Entry point: a client request arrives at the controller."""
         record = self.metrics.on_arrival(request.request_id, request.function, self.sim.now)
+        self._domain_for(request.function, request.tenant)
         self.policy.on_arrival(request.function, self.sim.now)
         if request.function in self.stats:
             self.stats[request.function].record_arrival(self.sim.now)
@@ -660,6 +684,8 @@ class ClusterController:
             node_id=node.node_id,
             instance_seed=self._next_instance_seed(),
             created_at=self.sim.now,
+            tenant=self._tenant_of.get(profile.name, ""),
+            domain=self._function_domain.get(profile.name, ""),
         )
         node.admit(sandbox)
         if self.indexed:
@@ -1298,6 +1324,7 @@ class ClusterController:
             image=sandbox.image,
             owner_sandbox_id=sandbox.sandbox_id,
             full_size_bytes=sandbox.profile.memory_bytes,
+            domain=sandbox.domain,
         )
         self.basemgr.add_base(checkpoint)
         node.pin_checkpoint(checkpoint)
@@ -1308,11 +1335,13 @@ class ClusterController:
         )
         for index, fingerprint in enumerate(fingerprints):
             ref = PageRef(checkpoint.checkpoint_id, sandbox.node_id, index)
-            self.registry.register_page(ref, fingerprint)
+            self.registry.register_page(ref, fingerprint, checkpoint.domain)
             # The full-page replica index (exact content digests) backs
             # crash rehoming: byte-identical pages on surviving bases
             # can absorb a dead base's patch references unchanged.
-            self.registry.register_page_location(ref, hash_bytes(image.page_bytes(index)))
+            self.registry.register_page_location(
+                ref, hash_bytes(image.page_bytes(index)), checkpoint.domain
+            )
         sandbox.is_base = True
         sandbox.base_checkpoint_id = checkpoint.checkpoint_id
         self.metrics.bases_created += 1
@@ -1553,12 +1582,17 @@ class ClusterController:
         return dead
 
     def _replica_for(
-        self, ref: PageRef, dead: set[int], local_node_id: int
+        self, ref: PageRef, dead: set[int], local_node_id: int, domain: str
     ) -> PageRef | None:
-        """A live byte-identical replica of ``ref``'s page, or None.
+        """A live byte-identical same-domain replica of ``ref``'s page.
 
         Prefers a replica already on the restoring sandbox's node (free
         local reads), then the lowest (checkpoint, page) for determinism.
+        The replica index is partitioned by dedup domain, so it cannot
+        return a foreign ref; the explicit ``domain`` check here is a
+        second, independent enforcement point — a rehome onto another
+        tenant's byte-identical page would silently merge their memory,
+        so a mismatch is skipped (and counted) rather than trusted.
         """
         candidates = []
         for replica in self.registry.replicas_for(ref):
@@ -1569,9 +1603,12 @@ class ClusterController:
             ):
                 continue
             try:
-                self.store.get(replica.checkpoint_id)
+                checkpoint = self.store.get(replica.checkpoint_id)
             except KeyError:
                 continue  # retired since it was indexed
+            if checkpoint.domain != domain:
+                self.metrics.cross_domain_replica_skips += 1
+                continue
             candidates.append(replica)
         if not candidates:
             return None
@@ -1602,7 +1639,7 @@ class ClusterController:
                 continue
             if entry.base in replacements:
                 continue
-            replica = self._replica_for(entry.base, dead, sandbox.node_id)
+            replica = self._replica_for(entry.base, dead, sandbox.node_id, sandbox.domain)
             if replica is None:
                 return False
             replacements[entry.base] = replica

@@ -494,7 +494,9 @@ class DedupAgent:
         fingerprints = batch_page_fingerprints(
             data, page_size, self.fingerprint_config, pages=nonzero_indices
         )
-        choices = self.registry.choose_base_pages(fingerprints, self.node_id)
+        choices = self.registry.choose_base_pages(
+            fingerprints, self.node_id, sandbox.domain
+        )
 
         # Classify pages, deferring base-page content to a grouped fetch.
         chosen: list[tuple[int, PageRef]] = []
@@ -604,7 +606,9 @@ class DedupAgent:
                 saved += page_size
                 continue
             fingerprint = page_fingerprint(page, self.fingerprint_config)
-            choice = self.registry.choose_base_page(fingerprint, self.node_id)
+            choice = self.registry.choose_base_page(
+                fingerprint, self.node_id, sandbox.domain
+            )
             if choice is None:
                 entries.append(PageEntry(kind=PageKind.UNIQUE, raw=page.tobytes()))
                 unique_pages += 1
@@ -896,13 +900,16 @@ class DedupAgent:
             retry_ms = plan.charged_ms
             retries = plan.attempts
 
-        segments, created, publish_ms = catalog.ensure_segments(image.regions)
+        segments, created, publish_ms = catalog.ensure_segments(
+            image.regions, sandbox.domain
+        )
         table = build_delta_table(
             image,
             {segment.key: segment.content for segment in segments},
             content_scale=self.content_scale,
             full_size_bytes=sandbox.profile.memory_bytes,
             level=catalog.config.patch_level,
+            domain=sandbox.domain,
         )
         catalog.acquire(table.segment_keys)
 

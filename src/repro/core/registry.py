@@ -18,27 +18,42 @@ Two API tiers exist:
 * batch (``register_pages`` / ``lookup_batch`` / ``choose_base_pages``)
   — one call per *image*, modelling a single controller round-trip.
   The sharded registry additionally groups a batch's digests per shard
-  before fanning out, so each shard is visited once per image rather
+  before fanning out, so each shard is visited once per batch rather
   than once per digest.
 
 Stats discipline: page-level counters (``pages_registered``,
 ``page_lookups``, ``hits``) count *pages*, digest-level counters count
 digests — on both registry variants, so the sharding ablation compares
 like with like.
+
+Tenancy (DESIGN.md §15): every table is partitioned by *dedup domain* —
+registrations and lookups carry the requester's domain string, and a
+lookup can only ever see refs registered under the same domain.  The
+partition is structural (separate nested tables per domain), so a
+cross-domain :class:`PageRef` cannot leak out of a lookup by
+construction; a checkpoint claiming two different domains raises.  The
+default :data:`~repro.tenancy.domains.GLOBAL_DOMAIN` ("" everywhere)
+collapses to a single partition and reproduces the pre-tenancy registry
+bit-identically.
 """
 
 from __future__ import annotations
 
 from collections import Counter, defaultdict
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Iterable, Mapping, Sequence
 
 from repro.memory.fingerprint import FingerprintConfig, PageFingerprint
+from repro.tenancy.domains import GLOBAL_DOMAIN
 
 #: Reference size used for the registry's own memory accounting: digest
 #: (8 B) + per-ref (node, checkpoint, page ~ 12 B) in a compact table.
 _DIGEST_BYTES = 8
 _REF_BYTES = 12
+
+#: Shared immutable empty partition, so lookups against a domain that
+#: never registered anything allocate nothing.
+_EMPTY_PARTITION: Mapping[int, list["PageRef"]] = {}
 
 
 @dataclass(frozen=True)
@@ -102,7 +117,8 @@ def _best_candidate(
 
 
 class FingerprintRegistry:
-    """Chunk-digest -> base-page index with bounded buckets."""
+    """Chunk-digest -> base-page index with bounded, domain-partitioned
+    buckets."""
 
     def __init__(
         self,
@@ -114,70 +130,101 @@ class FingerprintRegistry:
             raise ValueError("max_refs_per_digest must be positive")
         self.config = config or FingerprintConfig()
         self.max_refs_per_digest = max_refs_per_digest
-        self._buckets: dict[int, list[PageRef]] = defaultdict(list)
-        self._by_checkpoint: dict[int, list[tuple[int, PageRef]]] = defaultdict(list)
-        # Full-page content digests -> byte-identical base pages.  This
-        # replica index backs the fault-recovery re-homing path: a patch
-        # computed against a dead base page applies unchanged against any
-        # replica listed here.
-        self._page_locations: dict[int, list[PageRef]] = defaultdict(list)
-        self._location_of: dict[PageRef, int] = {}
-        self._locations_by_checkpoint: dict[int, list[tuple[int, PageRef]]] = (
-            defaultdict(list)
+        #: domain -> digest -> refs.  The nested shape is the isolation
+        #: mechanism: a lookup indexes its own domain's table and cannot
+        #: observe another partition at all.
+        self._partitions: dict[str, dict[int, list[PageRef]]] = {}
+        self._by_checkpoint: dict[int, list[tuple[str, int, PageRef]]] = defaultdict(
+            list
         )
+        # Full-page content digests -> byte-identical base pages, also
+        # per domain.  This replica index backs the fault-recovery
+        # re-homing path: a patch computed against a dead base page
+        # applies unchanged against any replica listed here — but only
+        # replicas of the *same domain* are ever listed together, so
+        # re-homing cannot cross a tenancy boundary either.
+        self._page_locations: dict[str, dict[int, list[PageRef]]] = {}
+        self._location_of: dict[PageRef, tuple[str, int]] = {}
+        self._locations_by_checkpoint: dict[
+            int, list[tuple[str, int, PageRef]]
+        ] = defaultdict(list)
+        #: checkpoint -> the single domain it registered under (the
+        #: tenancy tripwire: claiming a second domain raises).
+        self._checkpoint_domain: dict[int, str] = {}
         self.stats = RegistryStats()
+
+    def _claim_domain(self, checkpoint_id: int, domain: str) -> None:
+        existing = self._checkpoint_domain.setdefault(checkpoint_id, domain)
+        if existing != domain:
+            raise ValueError(
+                f"checkpoint {checkpoint_id} is registered in domain "
+                f"{existing!r}; refusing registration under {domain!r}"
+            )
 
     # ------------------------------------------------------- digest level
     # These update only digest-level counters; page-level accounting is
     # the caller's job (this registry's page APIs, or a sharding front
     # end that must count each page exactly once across shards).
 
-    def register_digest(self, ref: PageRef, digest: int) -> int:
+    def register_digest(
+        self, ref: PageRef, digest: int, domain: str = GLOBAL_DOMAIN
+    ) -> int:
         """Insert one digest of a base page; returns 1 if stored."""
-        bucket = self._buckets[digest]
+        self._claim_domain(ref.checkpoint_id, domain)
+        buckets = self._partitions.setdefault(domain, {})
+        bucket = buckets.setdefault(digest, [])
         if ref in bucket or len(bucket) >= self.max_refs_per_digest:
             return 0
         bucket.append(ref)
-        self._by_checkpoint[ref.checkpoint_id].append((digest, ref))
+        self._by_checkpoint[ref.checkpoint_id].append((domain, digest, ref))
         self.stats.digests_registered += 1
         return 1
 
     def resolve_digests(
-        self, digests: Iterable[int]
+        self, digests: Iterable[int], domain: str = GLOBAL_DOMAIN
     ) -> dict[int, tuple[PageRef, ...]]:
         """Bucket contents for each digest (digest-level lookup)."""
+        buckets = self._partitions.get(domain, _EMPTY_PARTITION)
         result: dict[int, tuple[PageRef, ...]] = {}
         for digest in digests:
             self.stats.digest_lookups += 1
-            result[digest] = tuple(self._buckets.get(digest, ()))
+            result[digest] = tuple(buckets.get(digest, ()))
         return result
 
     # --------------------------------------------------------- page level
 
-    def register_page(self, ref: PageRef, fingerprint: PageFingerprint) -> int:
+    def register_page(
+        self, ref: PageRef, fingerprint: PageFingerprint, domain: str = GLOBAL_DOMAIN
+    ) -> int:
         """Insert a base page's sampled digests; returns digests stored."""
         stored = 0
         for digest in fingerprint.digest_set:
-            stored += self.register_digest(ref, digest)
+            stored += self.register_digest(ref, digest, domain)
         self.stats.pages_registered += 1
         return stored
 
     def register_pages(
-        self, refs: Sequence[PageRef], fingerprints: Sequence[PageFingerprint]
+        self,
+        refs: Sequence[PageRef],
+        fingerprints: Sequence[PageFingerprint],
+        domain: str = GLOBAL_DOMAIN,
     ) -> int:
         """Batch insert (one controller round-trip per image)."""
         if len(refs) != len(fingerprints):
             raise ValueError("refs/fingerprints length mismatch")
         return sum(
-            self.register_page(ref, fingerprint)
+            self.register_page(ref, fingerprint, domain)
             for ref, fingerprint in zip(refs, fingerprints)
         )
 
     def deregister_checkpoint(self, checkpoint_id: int) -> int:
         """Remove every digest of a retired base checkpoint."""
         removed = 0
-        for digest, ref in self._by_checkpoint.pop(checkpoint_id, []):
-            bucket = self._buckets.get(digest)
+        for domain, digest, ref in self._by_checkpoint.pop(checkpoint_id, []):
+            buckets = self._partitions.get(domain)
+            if buckets is None:
+                continue
+            bucket = buckets.get(digest)
             if bucket is None:
                 continue
             try:
@@ -186,10 +233,17 @@ class FingerprintRegistry:
             except ValueError:
                 pass
             if not bucket:
-                del self._buckets[digest]
-        for page_digest, ref in self._locations_by_checkpoint.pop(checkpoint_id, []):
+                del buckets[digest]
+                if not buckets:
+                    del self._partitions[domain]
+        for domain, page_digest, ref in self._locations_by_checkpoint.pop(
+            checkpoint_id, []
+        ):
             self._location_of.pop(ref, None)
-            bucket = self._page_locations.get(page_digest)
+            buckets = self._page_locations.get(domain)
+            if buckets is None:
+                continue
+            bucket = buckets.get(page_digest)
             if bucket is None:
                 continue
             try:
@@ -197,37 +251,55 @@ class FingerprintRegistry:
             except ValueError:
                 pass
             if not bucket:
-                del self._page_locations[page_digest]
+                del buckets[page_digest]
+                if not buckets:
+                    del self._page_locations[domain]
+        self._checkpoint_domain.pop(checkpoint_id, None)
         return removed
 
     # ----------------------------------------------------- page locations
 
-    def register_page_location(self, ref: PageRef, page_digest: int) -> bool:
+    def register_page_location(
+        self, ref: PageRef, page_digest: int, domain: str = GLOBAL_DOMAIN
+    ) -> bool:
         """Index a base page's full-content digest for replica lookup.
 
         Idempotent; buckets are capped at ``max_refs_per_digest`` like
         fingerprint buckets.  Returns True when the ref was stored.
         """
-        bucket = self._page_locations[page_digest]
+        self._claim_domain(ref.checkpoint_id, domain)
+        buckets = self._page_locations.setdefault(domain, {})
+        bucket = buckets.setdefault(page_digest, [])
         if ref in bucket or len(bucket) >= self.max_refs_per_digest:
             if not bucket:
-                del self._page_locations[page_digest]
+                del buckets[page_digest]
+                if not buckets:
+                    del self._page_locations[domain]
             return False
         bucket.append(ref)
-        self._location_of[ref] = page_digest
-        self._locations_by_checkpoint[ref.checkpoint_id].append((page_digest, ref))
+        self._location_of[ref] = (domain, page_digest)
+        self._locations_by_checkpoint[ref.checkpoint_id].append(
+            (domain, page_digest, ref)
+        )
         return True
 
-    def page_replicas(self, page_digest: int) -> tuple[PageRef, ...]:
-        """All registered base pages whose content hashes to ``page_digest``."""
-        return tuple(self._page_locations.get(page_digest, ()))
+    def page_replicas(
+        self, page_digest: int, domain: str = GLOBAL_DOMAIN
+    ) -> tuple[PageRef, ...]:
+        """Registered base pages of ``domain`` whose content hashes to
+        ``page_digest`` (never another domain's — re-homing must not
+        leak a byte-identical page across a tenancy boundary)."""
+        return tuple(
+            self._page_locations.get(domain, _EMPTY_PARTITION).get(page_digest, ())
+        )
 
     def replicas_for(self, ref: PageRef) -> tuple[PageRef, ...]:
-        """Byte-identical alternatives to ``ref`` (re-homing candidates)."""
-        page_digest = self._location_of.get(ref)
-        if page_digest is None:
+        """Byte-identical same-domain alternatives to ``ref``."""
+        entry = self._location_of.get(ref)
+        if entry is None:
             return ()
-        return tuple(r for r in self.page_replicas(page_digest) if r != ref)
+        domain, page_digest = entry
+        return tuple(r for r in self.page_replicas(page_digest, domain) if r != ref)
 
     # ------------------------------------------------------- fault domain
 
@@ -241,12 +313,14 @@ class FingerprintRegistry:
 
         Stats survive — they are observability counters, not shard
         state — and callers rebuild the tables by re-registering the
-        surviving base checkpoints (idempotently)."""
-        self._buckets.clear()
+        surviving base checkpoints (idempotently, under their original
+        domains)."""
+        self._partitions.clear()
         self._by_checkpoint.clear()
         self._page_locations.clear()
         self._location_of.clear()
         self._locations_by_checkpoint.clear()
+        self._checkpoint_domain.clear()
 
     def drop_shard(self, index: int) -> None:
         """Shard-indexed data loss; a plain registry has only shard 0."""
@@ -254,14 +328,16 @@ class FingerprintRegistry:
             raise ValueError("unsharded registry has only shard 0")
         self.drop_state()
 
-    def lookup(self, fingerprint: PageFingerprint) -> Counter[PageRef]:
-        """Candidate base pages scored by sampled-chunk overlap."""
+    def lookup(
+        self, fingerprint: PageFingerprint, domain: str = GLOBAL_DOMAIN
+    ) -> Counter[PageRef]:
+        """Candidate base pages of ``domain`` scored by chunk overlap."""
         stats = self.stats
         stats.page_lookups += 1
         digest_set = fingerprint.digest_set
         stats.digest_lookups += len(digest_set)
         counts: Counter[PageRef] = Counter()
-        buckets_get = self._buckets.get
+        buckets_get = self._partitions.get(domain, _EMPTY_PARTITION).get
         for digest in digest_set:
             bucket = buckets_get(digest)
             if bucket:
@@ -271,7 +347,7 @@ class FingerprintRegistry:
         return counts
 
     def lookup_batch(
-        self, fingerprints: Sequence[PageFingerprint]
+        self, fingerprints: Sequence[PageFingerprint], domain: str = GLOBAL_DOMAIN
     ) -> list[Counter[PageRef]]:
         """Candidates for a whole image's pages in one round-trip.
 
@@ -283,7 +359,7 @@ class FingerprintRegistry:
         sequence of per-page :meth:`lookup` calls.
         """
         stats = self.stats
-        buckets_get = self._buckets.get
+        buckets_get = self._partitions.get(domain, _EMPTY_PARTITION).get
         resolved: dict[int, list[PageRef] | None] = {}
         results: list[Counter[PageRef]] = []
         for fingerprint in fingerprints:
@@ -307,34 +383,75 @@ class FingerprintRegistry:
         self,
         fingerprint: PageFingerprint,
         local_node_id: int,
+        domain: str = GLOBAL_DOMAIN,
     ) -> tuple[PageRef, int] | None:
         """Pick the best base page for a dedup candidate page.
 
         Returns ``(ref, overlap)`` or None when no candidate exists.
         """
-        return _best_candidate(self.lookup(fingerprint), local_node_id)
+        return _best_candidate(self.lookup(fingerprint, domain), local_node_id)
 
     def choose_base_pages(
         self,
         fingerprints: Sequence[PageFingerprint],
         local_node_id: int,
+        domain: str = GLOBAL_DOMAIN,
     ) -> list[tuple[PageRef, int] | None]:
         """Batch :meth:`choose_base_page` — one result per fingerprint."""
         return [
             _best_candidate(counts, local_node_id)
-            for counts in self.lookup_batch(fingerprints)
+            for counts in self.lookup_batch(fingerprints, domain)
         ]
+
+    # --------------------------------------------------- domain inspection
+
+    def domains(self) -> tuple[str, ...]:
+        """Domains with any registered state (sorted; tests/recovery)."""
+        return tuple(sorted(set(self._partitions) | set(self._page_locations)))
+
+    def domain_digests(self, domain: str) -> dict[int, tuple[PageRef, ...]]:
+        """One domain's digest partition as an immutable snapshot."""
+        return {
+            digest: tuple(refs)
+            for digest, refs in self._partitions.get(
+                domain, _EMPTY_PARTITION
+            ).items()
+        }
+
+    def domain_locations(self, domain: str) -> dict[int, tuple[PageRef, ...]]:
+        """One domain's replica-index partition as an immutable snapshot."""
+        return {
+            digest: tuple(refs)
+            for digest, refs in self._page_locations.get(
+                domain, _EMPTY_PARTITION
+            ).items()
+        }
+
+    def checkpoint_domain(self, checkpoint_id: int) -> str | None:
+        """The domain a checkpoint registered under (None if absent)."""
+        return self._checkpoint_domain.get(checkpoint_id)
 
     @property
     def digest_count(self) -> int:
-        return len(self._buckets)
+        return sum(len(buckets) for buckets in self._partitions.values())
 
     def memory_bytes(self) -> int:
         """Estimated registry footprint (for controller-overhead reporting)."""
-        refs = sum(len(bucket) for bucket in self._buckets.values())
-        location_refs = sum(len(bucket) for bucket in self._page_locations.values())
+        refs = sum(
+            len(bucket)
+            for buckets in self._partitions.values()
+            for bucket in buckets.values()
+        )
+        location_digests = sum(
+            len(buckets) for buckets in self._page_locations.values()
+        )
+        location_refs = sum(
+            len(bucket)
+            for buckets in self._page_locations.values()
+            for bucket in buckets.values()
+        )
         return (
-            (len(self._buckets) + len(self._page_locations)) * _DIGEST_BYTES
+            (self.digest_count + location_digests) * _DIGEST_BYTES
             + (refs + location_refs) * _REF_BYTES
         )
 
@@ -343,6 +460,9 @@ class FingerprintRegistry:
 
         Lookups are independent per digest, so the registry distributes
         by digest; the single-controller experiments use ``n_shards=1``.
+        Sharding is orthogonal to tenancy: a digest routes to the same
+        shard whatever its domain, and the domain partition lives inside
+        each shard.
         """
         if n_shards <= 0:
             raise ValueError("n_shards must be positive")
@@ -366,6 +486,11 @@ class ShardedFingerprintRegistry:
     by this front end — counting each page exactly once regardless of
     how many shards its digests span — while digest-level stats live in
     the shards; :attr:`stats` merges the two views.
+
+    Tenancy: the domain partition lives *inside* each shard (sharding is
+    by digest, orthogonal to domains), so a rebuilt shard reconstructs
+    its per-domain tables exactly by re-registering surviving
+    checkpoints under their recorded domains.
     """
 
     def __init__(
@@ -388,10 +513,11 @@ class ShardedFingerprintRegistry:
             for _ in range(n_shards)
         ]
         self._page_stats = RegistryStats()
-        # Front-end routing metadata for the replica index: which shard
-        # holds a ref's page-location entry.  Deliberately *not* shard
-        # state — it survives shard loss so recovery can still route.
-        self._location_route: dict[PageRef, int] = {}
+        # Front-end routing metadata for the replica index: which
+        # (domain, page digest) holds a ref's page-location entry.
+        # Deliberately *not* shard state — it survives shard loss so
+        # recovery can still route.
+        self._location_route: dict[PageRef, tuple[str, int]] = {}
         self._route_by_checkpoint: dict[int, list[PageRef]] = defaultdict(list)
 
     def shard_for(self, digest: int) -> int:
@@ -399,20 +525,27 @@ class ShardedFingerprintRegistry:
 
     # --------------------------------------------------------- page level
 
-    def register_page(self, ref: PageRef, fingerprint: PageFingerprint) -> int:
+    def register_page(
+        self, ref: PageRef, fingerprint: PageFingerprint, domain: str = GLOBAL_DOMAIN
+    ) -> int:
         stored = 0
         for digest in fingerprint.digest_set:
-            stored += self.shards[self.shard_for(digest)].register_digest(ref, digest)
+            stored += self.shards[self.shard_for(digest)].register_digest(
+                ref, digest, domain
+            )
         self._page_stats.pages_registered += 1
         return stored
 
     def register_pages(
-        self, refs: Sequence[PageRef], fingerprints: Sequence[PageFingerprint]
+        self,
+        refs: Sequence[PageRef],
+        fingerprints: Sequence[PageFingerprint],
+        domain: str = GLOBAL_DOMAIN,
     ) -> int:
         if len(refs) != len(fingerprints):
             raise ValueError("refs/fingerprints length mismatch")
         return sum(
-            self.register_page(ref, fingerprint)
+            self.register_page(ref, fingerprint, domain)
             for ref, fingerprint in zip(refs, fingerprints)
         )
 
@@ -423,23 +556,30 @@ class ShardedFingerprintRegistry:
 
     # ----------------------------------------------------- page locations
 
-    def register_page_location(self, ref: PageRef, page_digest: int) -> bool:
+    def register_page_location(
+        self, ref: PageRef, page_digest: int, domain: str = GLOBAL_DOMAIN
+    ) -> bool:
         """Route the replica-index entry to its shard (idempotent)."""
         if ref not in self._location_route:
-            self._location_route[ref] = page_digest
+            self._location_route[ref] = (domain, page_digest)
             self._route_by_checkpoint[ref.checkpoint_id].append(ref)
         return self.shards[self.shard_for(page_digest)].register_page_location(
-            ref, page_digest
+            ref, page_digest, domain
         )
 
-    def page_replicas(self, page_digest: int) -> tuple[PageRef, ...]:
-        return self.shards[self.shard_for(page_digest)].page_replicas(page_digest)
+    def page_replicas(
+        self, page_digest: int, domain: str = GLOBAL_DOMAIN
+    ) -> tuple[PageRef, ...]:
+        return self.shards[self.shard_for(page_digest)].page_replicas(
+            page_digest, domain
+        )
 
     def replicas_for(self, ref: PageRef) -> tuple[PageRef, ...]:
-        page_digest = self._location_route.get(ref)
-        if page_digest is None:
+        route = self._location_route.get(ref)
+        if route is None:
             return ()
-        return tuple(r for r in self.page_replicas(page_digest) if r != ref)
+        domain, page_digest = route
+        return tuple(r for r in self.page_replicas(page_digest, domain) if r != ref)
 
     # ------------------------------------------------------- fault domain
 
@@ -463,7 +603,7 @@ class ShardedFingerprintRegistry:
         return counts
 
     def _resolve_grouped(
-        self, fingerprints: Sequence[PageFingerprint]
+        self, fingerprints: Sequence[PageFingerprint], domain: str
     ) -> dict[int, tuple[PageRef, ...]]:
         """Resolve all digests of a batch, one fan-out visit per shard."""
         by_shard: dict[int, set[int]] = defaultdict(set)
@@ -472,14 +612,18 @@ class ShardedFingerprintRegistry:
                 by_shard[self.shard_for(digest)].add(digest)
         refs_by_digest: dict[int, tuple[PageRef, ...]] = {}
         for shard_index, digests in by_shard.items():
-            refs_by_digest.update(self.shards[shard_index].resolve_digests(digests))
+            refs_by_digest.update(
+                self.shards[shard_index].resolve_digests(digests, domain)
+            )
         return refs_by_digest
 
-    def lookup(self, fingerprint: PageFingerprint) -> Counter[PageRef]:
-        return self._merge(fingerprint, self._resolve_grouped([fingerprint]))
+    def lookup(
+        self, fingerprint: PageFingerprint, domain: str = GLOBAL_DOMAIN
+    ) -> Counter[PageRef]:
+        return self._merge(fingerprint, self._resolve_grouped([fingerprint], domain))
 
     def lookup_batch(
-        self, fingerprints: Sequence[PageFingerprint]
+        self, fingerprints: Sequence[PageFingerprint], domain: str = GLOBAL_DOMAIN
     ) -> list[Counter[PageRef]]:
         """Batch lookup: digests grouped per shard before fanning out.
 
@@ -487,26 +631,60 @@ class ShardedFingerprintRegistry:
         once per shard visit — the communication the sharded controller
         actually performs — while page-level stats count every page.
         """
-        refs_by_digest = self._resolve_grouped(fingerprints)
+        refs_by_digest = self._resolve_grouped(fingerprints, domain)
         return [self._merge(fingerprint, refs_by_digest) for fingerprint in fingerprints]
 
     def choose_base_page(
         self,
         fingerprint: PageFingerprint,
         local_node_id: int,
+        domain: str = GLOBAL_DOMAIN,
     ) -> tuple[PageRef, int] | None:
         """Same selection rule as the single registry, over merged shards."""
-        return _best_candidate(self.lookup(fingerprint), local_node_id)
+        return _best_candidate(self.lookup(fingerprint, domain), local_node_id)
 
     def choose_base_pages(
         self,
         fingerprints: Sequence[PageFingerprint],
         local_node_id: int,
+        domain: str = GLOBAL_DOMAIN,
     ) -> list[tuple[PageRef, int] | None]:
         return [
             _best_candidate(counts, local_node_id)
-            for counts in self.lookup_batch(fingerprints)
+            for counts in self.lookup_batch(fingerprints, domain)
         ]
+
+    # --------------------------------------------------- domain inspection
+
+    def domains(self) -> tuple[str, ...]:
+        """Domains with any registered state, merged across shards."""
+        seen: set[str] = set()
+        for shard in self.shards:
+            seen.update(shard.domains())
+        return tuple(sorted(seen))
+
+    def domain_digests(self, domain: str) -> dict[int, tuple[PageRef, ...]]:
+        """One domain's digest partition, merged across shards (digests
+        are disjoint between shards, so the merge is a plain union)."""
+        merged: dict[int, tuple[PageRef, ...]] = {}
+        for shard in self.shards:
+            merged.update(shard.domain_digests(domain))
+        return merged
+
+    def domain_locations(self, domain: str) -> dict[int, tuple[PageRef, ...]]:
+        """One domain's replica-index partition, merged across shards."""
+        merged: dict[int, tuple[PageRef, ...]] = {}
+        for shard in self.shards:
+            merged.update(shard.domain_locations(domain))
+        return merged
+
+    def checkpoint_domain(self, checkpoint_id: int) -> str | None:
+        """The domain a checkpoint registered under (None if absent)."""
+        for shard in self.shards:
+            domain = shard.checkpoint_domain(checkpoint_id)
+            if domain is not None:
+                return domain
+        return None
 
     @property
     def digest_count(self) -> int:

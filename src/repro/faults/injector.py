@@ -166,9 +166,9 @@ class FaultInjector:
             )
             for index, fingerprint in enumerate(fingerprints):
                 ref = PageRef(checkpoint.checkpoint_id, checkpoint.node_id, index)
-                self.registry.register_page(ref, fingerprint)
+                self.registry.register_page(ref, fingerprint, checkpoint.domain)
                 self.registry.register_page_location(
-                    ref, hash_bytes(image.page_bytes(index))
+                    ref, hash_bytes(image.page_bytes(index)), checkpoint.domain
                 )
         self.runtime.health.down_shards.discard(shard)
         self._record("shard-restored", f"shard:{shard}")

@@ -209,7 +209,9 @@ class DataPlane:
                     PageFingerprint(digests=digests, offsets=offsets)
                     for digests, offsets in raw_fps
                 ]
-            choices = agent.registry.choose_base_pages(fingerprints, agent.node_id)
+            choices = agent.registry.choose_base_pages(
+                fingerprints, agent.node_id, sandbox.domain
+            )
             chosen: list = []
             for index, choice in zip(abs_pages, choices):
                 if choice is None:

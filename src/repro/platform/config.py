@@ -14,6 +14,7 @@ from repro.sandbox.node import EvictionOrder
 from repro.sim.network import RdmaConfig
 from repro.storage.tiers import StorageConfig
 from repro.templates.catalog import TemplateConfig
+from repro.tenancy.domains import TenantConfig
 from repro.workload.functionbench import FunctionProfile
 
 
@@ -132,6 +133,14 @@ class ClusterConfig:
     templates: TemplateConfig = field(default_factory=TemplateConfig)
     """Shape of the template subsystem (only read when
     ``template_sharing`` is on)."""
+    dedup_domains: TenantConfig = field(default_factory=TenantConfig)
+    """Tenant-scoped dedup isolation domains (DESIGN.md §15): requests
+    carry a ``tenant`` label, and every sharing point — fingerprint
+    registry, replica index, base selection, template catalog — is
+    partitioned so state never crosses a domain boundary.  The default
+    (``DedupDomainMode.OFF``) maps every tenant to the single global
+    domain and is pinned bit-identical to the pre-tenancy platform by
+    the equivalence tests."""
     faults: FaultsConfig | None = None
     """Fault injection and recovery (DESIGN.md §11): a seeded
     :class:`~repro.faults.schedule.FaultSchedule` of node crashes,

@@ -473,6 +473,11 @@ class RunMetrics:
     restore_replica_fallbacks: int = 0
     """Dedup sandboxes re-homed onto byte-identical replica base pages
     after their original base died."""
+    cross_domain_replica_skips: int = 0
+    """Rehome candidates rejected by the controller's defensive dedup-
+    domain check (DESIGN.md §15).  Always 0 when the partitioned replica
+    index is healthy — a nonzero count means the structural isolation
+    was bypassed and the second enforcement point caught it."""
     restore_cold_fallbacks: int = 0
     """Dispatches that fell through failed dedup candidates to a cold
     start."""

@@ -44,6 +44,9 @@ class BaseCheckpoint:
     owner_resident: bool = True
     registered: bool = False
     """Whether this checkpoint's pages populate the fingerprint registry."""
+    domain: str = ""
+    """Dedup domain the checkpoint's pages are registered under
+    (DESIGN.md §15); "" is the global domain of ``dedup_domains=off``."""
     tier: StorageTier = StorageTier.NODE_DRAM
     """Residency tier; only :class:`repro.storage.store.TieredCheckpointStore`
     moves it off ``NODE_DRAM``."""

@@ -66,6 +66,12 @@ class Sandbox:
     """Catalog keys of the shared segments (for releasing the share)."""
     served_requests: int = 0
     dedup_count: int = 0
+    tenant: str = ""
+    """Owning tenant (from the first request of this function)."""
+    domain: str = ""
+    """Dedup domain the sandbox shares state in (DESIGN.md §15) — every
+    registry/template interaction on this sandbox's behalf is scoped to
+    this domain.  "" is the global domain of ``dedup_domains=off``."""
     observers: list[TransitionObserver] = field(default_factory=list, compare=False)
     """Transition hooks (node accounting, controller indexes).  Each is
     called *after* the state and timestamps update, so it observes the

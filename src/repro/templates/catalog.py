@@ -37,11 +37,15 @@ from repro.memory.synth import template_region_content
 from repro.storage.store import TemplatePool
 from repro.storage.tiers import StorageConfig
 
-#: Catalog key of one template segment: the region's content identity
-#: and its placed (scaled) size.  Two functions whose layouts place the
-#: same library at the same size share one segment; a squeezed library
-#: (different resident subset) keys a separate segment.
-SegmentKey = tuple[str, int]
+#: Catalog key of one template segment: the requester's dedup domain,
+#: the region's content identity and its placed (scaled) size.  Two
+#: functions whose layouts place the same library at the same size share
+#: one segment *within a domain*; a squeezed library (different resident
+#: subset) keys a separate segment, and so does another dedup domain —
+#: templates fork only within a domain (DESIGN.md §15), even when the
+#: bytes are identical.  The global domain "" keys every segment while
+#: ``dedup_domains`` is off.
+SegmentKey = tuple[str, str, int]
 
 
 @dataclass(frozen=True)
@@ -98,12 +102,16 @@ class TemplateSegment:
     last_fork_ms: float = float("-inf")
 
     @property
-    def content_key(self) -> str:
+    def domain(self) -> str:
         return self.key[0]
 
     @property
-    def size(self) -> int:
+    def content_key(self) -> str:
         return self.key[1]
+
+    @property
+    def size(self) -> int:
+        return self.key[2]
 
     def acquire(self) -> None:
         self.refcount += 1
@@ -167,23 +175,27 @@ class TemplateCatalog:
     # ----------------------------------------------------------- publish
 
     def ensure_segments(
-        self, regions: tuple[PlacedRegion, ...]
+        self, regions: tuple[PlacedRegion, ...], domain: str = ""
     ) -> tuple[list[TemplateSegment], list[TemplateSegment], float]:
         """Get-or-create the segments covering ``regions``' shareable part.
 
-        Returns ``(segments, created, publish_ms)`` where ``publish_ms``
-        is the charged pool write for newly created segments (0.0 when
-        everything was already published).  All-or-nothing: when the pool
-        cannot fit the missing segments — even after retiring idle,
-        unreferenced ones — nothing is published and
-        :class:`TemplatePoolFull` is raised.
+        Segments are scoped to the requester's ``domain``: a published
+        segment is only ever hit by forks of the same dedup domain, so
+        template state cannot cross a tenancy boundary (two domains
+        publishing the same library hold two segments with identical
+        bytes).  Returns ``(segments, created, publish_ms)`` where
+        ``publish_ms`` is the charged pool write for newly created
+        segments (0.0 when everything was already published).
+        All-or-nothing: when the pool cannot fit the missing segments —
+        even after retiring idle, unreferenced ones — nothing is
+        published and :class:`TemplatePoolFull` is raised.
         """
         shareable = self.shareable_regions(regions)
         segments: list[TemplateSegment] = []
         missing: list[PlacedRegion] = []
         seen: set[SegmentKey] = set()
         for region in shareable:
-            key = (region.spec.content_key, region.size)
+            key = (domain, region.spec.content_key, region.size)
             existing = self._segments.get(key)
             if existing is not None:
                 segments.append(existing)
@@ -204,7 +216,7 @@ class TemplateCatalog:
         publish_ms = self.pool.publish_ms(needed)
         created: list[TemplateSegment] = []
         for region in missing:
-            key = (region.spec.content_key, region.size)
+            key = (domain, region.spec.content_key, region.size)
             segment = TemplateSegment(
                 segment_id=next(self._ids),
                 key=key,

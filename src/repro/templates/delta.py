@@ -33,7 +33,9 @@ class SharedSpan:
 
     offset: int
     size: int
-    segment_key: tuple[str, int]
+    segment_key: tuple[str, str, int]
+    """Catalog :data:`~repro.templates.catalog.SegmentKey` — (dedup
+    domain, content key, size)."""
     patch: Patch
 
 
@@ -90,8 +92,8 @@ class TemplateDeltaTable:
         return int(self.cow_shareable_content_bytes / self.content_scale)
 
     @property
-    def segment_keys(self) -> tuple[tuple[str, int], ...]:
-        seen: dict[tuple[str, int], None] = {}
+    def segment_keys(self) -> tuple[tuple[str, str, int], ...]:
+        seen: dict[tuple[str, str, int], None] = {}
         for span in self.shared:
             seen.setdefault(span.segment_key, None)
         return tuple(seen)
@@ -112,23 +114,26 @@ class TemplateDeltaTable:
 
 def build_delta_table(
     image: MemoryImage,
-    segment_content: dict[tuple[str, int], np.ndarray],
+    segment_content: dict[tuple[str, str, int], np.ndarray],
     *,
     content_scale: float,
     full_size_bytes: int,
     level: int = 1,
+    domain: str = "",
 ) -> TemplateDeltaTable:
     """Factor ``image`` into segment patches + private pages.
 
-    ``segment_content`` maps each shareable region's ``(content_key,
-    size)`` to the catalog's template bytes; regions without an entry are
-    treated as private.  Regions are page-aligned by construction, so
-    shared spans and private pages partition the image exactly.
+    ``segment_content`` maps each shareable region's ``(domain,
+    content_key, size)`` catalog key to the template bytes; regions
+    without an entry (including a match published under a *different*
+    dedup domain) are treated as private.  Regions are page-aligned by
+    construction, so shared spans and private pages partition the image
+    exactly.
     """
     shared_regions = [
         region
         for region in image.regions
-        if (region.spec.content_key, region.size) in segment_content
+        if (domain, region.spec.content_key, region.size) in segment_content
     ]
     for region in shared_regions:
         if region.offset % image.page_size or region.size % image.page_size:
@@ -137,14 +142,17 @@ def build_delta_table(
             )
     patches = compute_patches(
         [image.data[region.offset : region.end] for region in shared_regions],
-        [segment_content[(region.spec.content_key, region.size)] for region in shared_regions],
+        [
+            segment_content[(domain, region.spec.content_key, region.size)]
+            for region in shared_regions
+        ],
         level=level,
     )
     shared = tuple(
         SharedSpan(
             offset=region.offset,
             size=region.size,
-            segment_key=(region.spec.content_key, region.size),
+            segment_key=(domain, region.spec.content_key, region.size),
             patch=patch,
         )
         for region, patch in zip(shared_regions, patches)
@@ -181,7 +189,7 @@ def build_delta_table(
 
 def reconstruct_image(
     table: TemplateDeltaTable,
-    segment_content: dict[tuple[str, int], np.ndarray],
+    segment_content: dict[tuple[str, str, int], np.ndarray],
     *,
     verify: bool = False,
 ) -> MemoryImage:

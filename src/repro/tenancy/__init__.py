@@ -1,0 +1,5 @@
+"""Multi-tenant dedup isolation domains (DESIGN.md §15)."""
+
+from repro.tenancy.domains import GLOBAL_DOMAIN, DedupDomainMode, TenantConfig
+
+__all__ = ["GLOBAL_DOMAIN", "DedupDomainMode", "TenantConfig"]

@@ -1,0 +1,97 @@
+"""Tenant-scoped dedup domains (DESIGN.md §15).
+
+Medes shares base pages cluster-wide, but *Remote Memory-Deduplication
+Attacks* (PAPERS.md) shows that dedup-induced latency differences are
+measurable over the network and leak page contents across tenants: an
+attacker plants a guessed page and learns from its own restore/dedup
+timing whether the victim holds an identical page.  The defence is to
+never merge memory across mutually untrusting tenants — every sharing
+point (fingerprint registry, replica index, base selection, template
+catalog) is partitioned into *dedup domains* and a lookup can only ever
+return state from the requester's own domain.
+
+This module is the pure policy half: :class:`TenantConfig` maps a
+request's tenant label to its domain string.  It is deliberately
+dependency-free (``ClusterConfig`` imports it) and stateless — the same
+``(mode, trust_groups, tenant)`` always yields the same domain, so a
+replay is deterministic.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+#: The single shared domain of ``DedupDomainMode.OFF`` — today's global
+#: cluster-wide sharing.  Every pre-tenancy code path registers and
+#: looks up under this domain, which is what pins ``off`` bit-identical.
+GLOBAL_DOMAIN = ""
+
+
+class DedupDomainMode(enum.Enum):
+    """How tenants map to dedup domains."""
+
+    OFF = "off"
+    """One global domain: cluster-wide sharing, the paper's behaviour."""
+
+    PER_TENANT = "per_tenant"
+    """Every tenant is its own domain: no cross-tenant merging at all."""
+
+    TRUST_GROUPS = "trust_groups"
+    """Explicit tenant → domain groups; unlisted tenants are isolated
+    in singleton domains (fail closed, never fail open)."""
+
+
+@dataclass(frozen=True)
+class TenantConfig:
+    """Dedup-domain policy: tenant labels → domain strings.
+
+    The default (``OFF``) reproduces global sharing bit-identically:
+    every tenant maps to :data:`GLOBAL_DOMAIN`, so all registry
+    partitions collapse into the single pre-tenancy table.
+    """
+
+    mode: DedupDomainMode = DedupDomainMode.OFF
+    trust_groups: tuple[tuple[str, tuple[str, ...]], ...] = ()
+    """``((group_name, (tenant, ...)), ...)`` — only read under
+    ``TRUST_GROUPS``.  A tenant may appear in at most one group."""
+
+    def __post_init__(self) -> None:
+        if self.trust_groups and self.mode is not DedupDomainMode.TRUST_GROUPS:
+            raise ValueError("trust_groups requires mode=TRUST_GROUPS")
+        seen_groups: set[str] = set()
+        seen_tenants: set[str] = set()
+        for group, tenants in self.trust_groups:
+            if not group:
+                raise ValueError("trust group names must be non-empty")
+            if group in seen_groups:
+                raise ValueError(f"duplicate trust group {group!r}")
+            seen_groups.add(group)
+            for tenant in tenants:
+                if tenant in seen_tenants:
+                    raise ValueError(
+                        f"tenant {tenant!r} appears in more than one trust group"
+                    )
+                seen_tenants.add(tenant)
+
+    @property
+    def enabled(self) -> bool:
+        """True when domains actually partition anything."""
+        return self.mode is not DedupDomainMode.OFF
+
+    def domain_of(self, tenant: str) -> str:
+        """The dedup domain a request labelled ``tenant`` shares in.
+
+        ``OFF`` maps everyone to :data:`GLOBAL_DOMAIN`.  ``PER_TENANT``
+        gives each tenant label its own domain (unlabelled requests form
+        one anonymous tenant).  ``TRUST_GROUPS`` maps grouped tenants to
+        their group's domain and everyone else to a singleton domain.
+        """
+        if self.mode is DedupDomainMode.OFF:
+            return GLOBAL_DOMAIN
+        if self.mode is DedupDomainMode.PER_TENANT:
+            return f"tenant:{tenant}"
+        for group, tenants in self.trust_groups:
+            if tenant in tenants:
+                return f"group:{group}"
+        return f"tenant:{tenant}"

@@ -166,17 +166,31 @@ class AzureTraceGenerator:
             burst_size_mean=float(rng.uniform(3.0, 9.0)),
         )
 
-    def generate(self, duration_min: float, functions: tuple[str, ...] | list[str]) -> Trace:
-        """Generate a merged multi-function trace of ``duration_min`` minutes."""
+    def generate(
+        self,
+        duration_min: float,
+        functions: tuple[str, ...] | list[str],
+        *,
+        tenant_of: dict[str, str] | None = None,
+    ) -> Trace:
+        """Generate a merged multi-function trace of ``duration_min`` minutes.
+
+        ``tenant_of`` optionally labels each function's requests with an
+        owning tenant (tenancy is per function); arrival times are
+        unaffected, so a labelled trace pairs request-for-request with
+        the unlabelled one.
+        """
         if duration_min <= 0:
             raise ValueError("duration_min must be positive")
         duration_ms = duration_min * 60_000.0
-        arrivals: list[tuple[float, str]] = []
+        arrivals: list[tuple[float, str, str]] = []
         for index, function in enumerate(functions):
             spec = self.pattern_for(function, index)
             rng = rng_for("azure-arrivals", self.seed, function)
+            tenant = (tenant_of or {}).get(function, "")
             arrivals.extend(
-                (float(t), function) for t in sample_arrivals(spec, duration_ms, rng)
+                (float(t), function, tenant)
+                for t in sample_arrivals(spec, duration_ms, rng)
             )
         return Trace.from_arrivals(arrivals)
 
@@ -263,6 +277,7 @@ class ClusterTraceGenerator:
         functions: tuple[str, ...] | list[str],
         *,
         target_requests: int,
+        tenant_of: dict[str, str] | None = None,
     ) -> Trace:
         """Generate a merged cluster trace of ~``target_requests`` requests.
 
@@ -311,4 +326,7 @@ class ClusterTraceGenerator:
             1.0 + self.diurnal_depth
         )
         keep = rng_for("cluster-diurnal", self.seed).random(times.size) < keep_prob
-        return Trace.from_arrays(times[keep], ids[keep], list(functions))
+        tenants = (
+            [(tenant_of or {}).get(fn, "") for fn in functions] if tenant_of else None
+        )
+        return Trace.from_arrays(times[keep], ids[keep], list(functions), tenants)

@@ -25,6 +25,11 @@ class Request:
     request_id: int
     function: str
     arrival_ms: float
+    tenant: str = ""
+    """Owning tenant of this invocation ("" = the anonymous tenant).
+    Only read when ``ClusterConfig.dedup_domains`` partitions sharing
+    by tenant domain; the default label keeps untagged traces on the
+    pre-tenancy path bit-identically."""
 
     def __post_init__(self) -> None:
         if self.arrival_ms < 0:
@@ -52,13 +57,24 @@ class Trace:
             raise ValueError("duplicate request ids in trace")
 
     @classmethod
-    def from_arrivals(cls, arrivals: list[tuple[float, str]]) -> "Trace":
-        """Build a trace from (arrival_ms, function) pairs (any order)."""
+    def from_arrivals(
+        cls, arrivals: list[tuple[float, str]] | list[tuple[float, str, str]]
+    ) -> "Trace":
+        """Build a trace from (arrival_ms, function[, tenant]) tuples.
+
+        Tuples may mix 2- and 3-element forms; the 2-element form keeps
+        the default (anonymous) tenant label.
+        """
         ordered = sorted(arrivals, key=lambda item: item[0])
         return cls(
             requests=tuple(
-                Request(request_id=i, function=fn, arrival_ms=t)
-                for i, (t, fn) in enumerate(ordered)
+                Request(
+                    request_id=i,
+                    function=item[1],
+                    arrival_ms=item[0],
+                    tenant=item[2] if len(item) > 2 else "",
+                )
+                for i, item in enumerate(ordered)
             )
         )
 
@@ -68,22 +84,39 @@ class Trace:
         arrival_ms: np.ndarray,
         function_ids: np.ndarray,
         names: Sequence[str],
+        tenants: Sequence[str] | None = None,
     ) -> "Trace":
         """Build a trace from parallel columns (any order), stably sorted.
 
         ``arrival_ms[i]`` pairs with ``names[function_ids[i]]``; the
         stable time sort matches :meth:`from_arrivals` exactly.  This is
         the cluster-scale path: generators hand over two numpy columns
-        instead of a Python list of a million tuples.
+        instead of a Python list of a million tuples.  ``tenants``, when
+        given, maps each function id to its owning tenant label (one
+        entry per name — tenancy is per function, not per request).
         """
         if len(arrival_ms) != len(function_ids):
             raise ValueError("arrival_ms and function_ids must be the same length")
+        if tenants is not None and len(tenants) != len(names):
+            raise ValueError("tenants must have one entry per function name")
         order = np.argsort(arrival_ms, kind="stable")
         times = arrival_ms[order].tolist()
         indices = function_ids[order].tolist()
+        if tenants is None:
+            return cls(
+                requests=tuple(
+                    Request(request_id=i, function=names[j], arrival_ms=t)
+                    for i, (t, j) in enumerate(zip(times, indices))
+                )
+            )
         return cls(
             requests=tuple(
-                Request(request_id=i, function=names[j], arrival_ms=t)
+                Request(
+                    request_id=i,
+                    function=names[j],
+                    arrival_ms=t,
+                    tenant=tenants[j],
+                )
                 for i, (t, j) in enumerate(zip(times, indices))
             )
         )
@@ -116,21 +149,42 @@ class Trace:
         lo = bisect_left(times, start_ms)
         hi = bisect_right(times, end_ms - 1e-9)
         return Trace.from_arrivals(
-            [(r.arrival_ms - start_ms, r.function) for r in self.requests[lo:hi]]
+            [
+                (r.arrival_ms - start_ms, r.function, r.tenant)
+                for r in self.requests[lo:hi]
+            ]
         )
 
     def restrict(self, functions: set[str] | tuple[str, ...]) -> "Trace":
         """Only the requests of the given functions, re-numbered."""
         wanted = set(functions)
         return Trace.from_arrivals(
-            [(r.arrival_ms, r.function) for r in self.requests if r.function in wanted]
+            [
+                (r.arrival_ms, r.function, r.tenant)
+                for r in self.requests
+                if r.function in wanted
+            ]
         )
 
     def merged_with(self, other: "Trace") -> "Trace":
         """Union of two traces on a shared timeline, re-numbered."""
-        arrivals = [(r.arrival_ms, r.function) for r in self.requests]
-        arrivals += [(r.arrival_ms, r.function) for r in other.requests]
+        arrivals = [(r.arrival_ms, r.function, r.tenant) for r in self.requests]
+        arrivals += [(r.arrival_ms, r.function, r.tenant) for r in other.requests]
         return Trace.from_arrivals(arrivals)
+
+    def with_tenants(self, tenant_of: dict[str, str]) -> "Trace":
+        """Relabel tenants by function (missing entries keep theirs)."""
+        return Trace(
+            requests=tuple(
+                Request(
+                    request_id=r.request_id,
+                    function=r.function,
+                    arrival_ms=r.arrival_ms,
+                    tenant=tenant_of.get(r.function, r.tenant),
+                )
+                for r in self.requests
+            )
+        )
 
     def mean_rate_per_s(self, function: str | None = None) -> float:
         """Mean arrival rate (requests/second) over the trace span."""

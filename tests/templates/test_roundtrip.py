@@ -37,7 +37,7 @@ def segment_content_for(image):
     """Template bytes for every shareable region, as the catalog builds
     them (instance-independent: no ASLR, seed-0 pointers)."""
     return {
-        (region.spec.content_key, region.size): template_region_content(
+        ("", region.spec.content_key, region.size): template_region_content(
             region.spec, region.size
         )
         for region in image.regions

@@ -1,0 +1,119 @@
+"""Unit tests for the dedup-domain policy and its registry tripwire.
+
+The :class:`TenantConfig` policy maps tenants to domain strings; the
+registry pins each checkpoint to the single domain it first registered
+under and raises on any attempt to span two (DESIGN.md §15).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.registry import FingerprintRegistry, PageRef, ShardedFingerprintRegistry
+from repro.memory.fingerprint import PageFingerprint
+from repro.tenancy.domains import GLOBAL_DOMAIN, DedupDomainMode, TenantConfig
+
+
+def fp(*digests: int) -> PageFingerprint:
+    return PageFingerprint(digests=tuple(digests), offsets=tuple(range(len(digests))))
+
+
+class TestTenantConfig:
+    def test_default_is_off_and_global(self):
+        config = TenantConfig()
+        assert config.mode is DedupDomainMode.OFF
+        assert not config.enabled
+        assert config.domain_of("anyone") == GLOBAL_DOMAIN
+        assert config.domain_of("") == GLOBAL_DOMAIN
+
+    def test_per_tenant_domains_are_distinct(self):
+        config = TenantConfig(mode=DedupDomainMode.PER_TENANT)
+        assert config.enabled
+        assert config.domain_of("a") != config.domain_of("b")
+        assert config.domain_of("a") == config.domain_of("a")
+        assert config.domain_of("a") != GLOBAL_DOMAIN
+
+    def test_trust_groups_share_one_domain(self):
+        config = TenantConfig(
+            mode=DedupDomainMode.TRUST_GROUPS,
+            trust_groups=(("ml", ("a", "b")), ("web", ("c",))),
+        )
+        assert config.domain_of("a") == config.domain_of("b")
+        assert config.domain_of("c") != config.domain_of("a")
+
+    def test_unlisted_tenant_fails_closed(self):
+        """A tenant outside every trust group gets a singleton domain —
+        never the global one, never another group's."""
+        config = TenantConfig(
+            mode=DedupDomainMode.TRUST_GROUPS, trust_groups=(("ml", ("a",)),)
+        )
+        stranger = config.domain_of("stranger")
+        assert stranger != GLOBAL_DOMAIN
+        assert stranger != config.domain_of("a")
+        assert stranger != config.domain_of("other-stranger")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TenantConfig(trust_groups=(("g", ("a",)),))  # groups need the mode
+        with pytest.raises(ValueError):
+            TenantConfig(
+                mode=DedupDomainMode.TRUST_GROUPS,
+                trust_groups=(("g", ("a",)), ("g", ("b",))),
+            )
+        with pytest.raises(ValueError):
+            TenantConfig(
+                mode=DedupDomainMode.TRUST_GROUPS,
+                trust_groups=(("g", ("a",)), ("h", ("a",))),
+            )
+
+
+@pytest.mark.parametrize(
+    "make",
+    [FingerprintRegistry, lambda: ShardedFingerprintRegistry(3)],
+    ids=["plain", "sharded"],
+)
+class TestRegistryDomainTripwire:
+    def test_checkpoint_cannot_span_domains(self, make):
+        registry = make()
+        ref = PageRef(checkpoint_id=1, node_id=0, page_index=0)
+        registry.register_page(ref, fp(1, 2, 3), "tenant:a")
+        with pytest.raises(ValueError, match="domain"):
+            registry.register_page(
+                PageRef(checkpoint_id=1, node_id=0, page_index=1),
+                fp(4, 5, 6),
+                "tenant:b",
+            )
+        with pytest.raises(ValueError, match="domain"):
+            registry.register_page_location(ref, 99, "tenant:b")
+
+    def test_lookup_never_crosses_domains(self, make):
+        registry = make()
+        registry.register_page(PageRef(1, 0, 0), fp(1, 2, 3), "tenant:a")
+        registry.register_page(PageRef(2, 1, 0), fp(1, 2, 3), "tenant:b")
+        for domain, expected_checkpoint in (("tenant:a", 1), ("tenant:b", 2)):
+            counts = registry.lookup(fp(1, 2, 3), domain)
+            assert {ref.checkpoint_id for ref in counts} == {expected_checkpoint}
+        assert registry.lookup(fp(1, 2, 3), GLOBAL_DOMAIN) == {}
+        assert registry.lookup(fp(1, 2, 3), "tenant:c") == {}
+
+    def test_replicas_never_cross_domains(self, make):
+        registry = make()
+        ours = PageRef(1, 0, 0)
+        twin_ours = PageRef(2, 1, 0)
+        twin_theirs = PageRef(3, 1, 0)
+        registry.register_page_location(ours, 7, "tenant:a")
+        registry.register_page_location(twin_ours, 7, "tenant:a")
+        registry.register_page_location(twin_theirs, 7, "tenant:b")
+        assert registry.replicas_for(ours) == (twin_ours,)
+        assert registry.page_replicas(7, "tenant:a") == (ours, twin_ours)
+        assert registry.page_replicas(7, "tenant:b") == (twin_theirs,)
+
+    def test_deregister_clears_domain_claim(self, make):
+        registry = make()
+        registry.register_page(PageRef(1, 0, 0), fp(1, 2), "tenant:a")
+        assert registry.checkpoint_domain(1) == "tenant:a"
+        registry.deregister_checkpoint(1)
+        assert registry.checkpoint_domain(1) is None
+        # The id may now be reused under a different domain.
+        registry.register_page(PageRef(1, 0, 0), fp(1, 2), "tenant:b")
+        assert registry.checkpoint_domain(1) == "tenant:b"

@@ -1,0 +1,115 @@
+"""Dedup domains off == the pre-tenancy platform, bit for bit.
+
+``ClusterConfig.dedup_domains`` follows the PR-3/5/8 flag discipline:
+with the default ``off`` policy every request maps to the single global
+domain, the registry collapses to one partition, and tenant labels on
+the trace must be *inert* — a fully tenant-labelled replay produces the
+exact ``RunMetrics`` of the anonymous replay, across all three platform
+kinds and every eviction order.  (Both runs share one binary, so the
+equality also pins that no off-path code reads the labels at all.)
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+import repro.sandbox.checkpoint as checkpoint_module
+import repro.sandbox.sandbox as sandbox_module
+from repro.core.policy import MedesPolicyConfig
+from repro.platform.config import ClusterConfig
+from repro.platform.platform import PlatformKind, build_platform
+from repro.sandbox.node import EvictionOrder
+from repro.tenancy.domains import DedupDomainMode, TenantConfig
+from repro.workload.azure import AzureTraceGenerator
+from repro.workload.functionbench import FunctionBenchSuite
+
+SCALE = 1.0 / 256.0
+MEDES = MedesPolicyConfig(idle_period_ms=5_000.0, alpha=25.0)
+
+PLATFORMS = [
+    pytest.param(PlatformKind.MEDES, {"medes": MEDES}, id="medes"),
+    pytest.param(PlatformKind.FIXED_KEEP_ALIVE, {}, id="fixed"),
+    pytest.param(PlatformKind.ADAPTIVE_KEEP_ALIVE, {}, id="adaptive"),
+]
+
+ORDERS = [
+    pytest.param(order, id=order.name.lower())
+    for order in (EvictionOrder.LRU, EvictionOrder.LARGEST_FIRST, EvictionOrder.RANDOM)
+]
+
+
+def pressure_workload():
+    suite = FunctionBenchSuite.subset(["FeatureGen", "RNNModel"])
+    trace = AzureTraceGenerator(seed=5, rate_scale=8.0).generate(4.0, suite.names())
+    return suite, trace
+
+
+def run_once(kind, config, suite, trace, **build_kwargs):
+    sandbox_module._sandbox_ids = itertools.count(1)
+    checkpoint_module._checkpoint_ids = itertools.count(1)
+    platform = build_platform(kind, config, suite, **build_kwargs)
+    return platform.run(trace)
+
+
+class TestOffIsInert:
+    """3 platforms x 3 eviction orders: labels change nothing under off."""
+
+    @pytest.mark.parametrize("order", ORDERS)
+    @pytest.mark.parametrize("kind,kwargs", PLATFORMS)
+    def test_matrix(self, kind, kwargs, order):
+        suite, trace = pressure_workload()
+        config = ClusterConfig(
+            nodes=1,
+            node_memory_mb=256.0,
+            content_scale=SCALE,
+            seed=7,
+            eviction_order=order,
+        )
+        labelled = trace.with_tenants(
+            {name: f"tenant-{name}" for name in suite.names()}
+        )
+        baseline = run_once(kind, config, suite, trace, **kwargs)
+        relabelled = run_once(kind, config, suite, labelled, **kwargs)
+        assert relabelled.duration_ms == baseline.duration_ms
+        assert relabelled.metrics == baseline.metrics
+        assert baseline.metrics.cross_domain_replica_skips == 0
+
+    def test_off_collapses_to_one_domain(self):
+        suite, trace = pressure_workload()
+        config = ClusterConfig(nodes=1, node_memory_mb=256.0, content_scale=SCALE, seed=7)
+        labelled = trace.with_tenants(
+            {name: f"tenant-{name}" for name in suite.names()}
+        )
+        sandbox_module._sandbox_ids = itertools.count(1)
+        checkpoint_module._checkpoint_ids = itertools.count(1)
+        platform = build_platform(PlatformKind.MEDES, config, suite, medes=MEDES)
+        platform.run(labelled)
+        assert platform.registry.domains() == ("",)
+
+    def test_enabled_domains_change_behaviour(self):
+        """The converse guard: per-tenant domains on the same labelled
+        trace must NOT be a silent no-op — the partition must actually
+        cost dedup opportunities (more bases, or fewer dedup hits)."""
+        suite, trace = pressure_workload()
+        config = ClusterConfig(nodes=1, node_memory_mb=256.0, content_scale=SCALE, seed=7)
+        labelled = trace.with_tenants(
+            {name: f"tenant-{name}" for name in suite.names()}
+        )
+        off = run_once(PlatformKind.MEDES, config, suite, labelled, medes=MEDES)
+        per_tenant = run_once(
+            PlatformKind.MEDES,
+            ClusterConfig(
+                nodes=1,
+                node_memory_mb=256.0,
+                content_scale=SCALE,
+                seed=7,
+                dedup_domains=TenantConfig(mode=DedupDomainMode.PER_TENANT),
+            ),
+            suite,
+            labelled,
+            medes=MEDES,
+        )
+        assert per_tenant.metrics != off.metrics
+        assert per_tenant.metrics.bases_created >= off.metrics.bases_created
